@@ -1,0 +1,171 @@
+// Command powertrace samples the RAPL counters through PAPI while a
+// sequential solver reduces a system step by step, printing a power
+// time-series per domain — the fine-grained view the paper's start/stop
+// framework aggregates into one number.
+//
+// Usage:
+//
+//	powertrace -n 1024 -alg ime -samples 32
+//	powertrace -alg scalapack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ime"
+	"repro/internal/mat"
+	"repro/internal/papi"
+	"repro/internal/power"
+	"repro/internal/rapl"
+	"repro/internal/scalapack"
+)
+
+// stepper is a solver exposing one reduction step at a time.
+type stepper interface {
+	Remaining() int
+	StepFlops() float64
+	Step() error
+}
+
+// imeStepper adapts ime.Table.
+type imeStepper struct{ t *ime.Table }
+
+func (s imeStepper) Remaining() int     { return s.t.Level() }
+func (s imeStepper) StepFlops() float64 { return s.t.StepFlops() }
+func (s imeStepper) Step() error        { return s.t.Step() }
+
+func main() {
+	n := flag.Int("n", 1024, "system order")
+	alg := flag.String("alg", "ime", "solver: ime or scalapack")
+	seed := flag.Int64("seed", 1, "generator seed")
+	samples := flag.Int("samples", 32, "number of trace samples")
+	flag.Parse()
+
+	if err := run(*n, *alg, *seed, *samples); err != nil {
+		fmt.Fprintf(os.Stderr, "powertrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, alg string, seed int64, samples int) error {
+	if samples < 1 {
+		return fmt.Errorf("need at least one sample")
+	}
+	sys := mat.NewRandomSystem(n, seed)
+
+	var st stepper
+	var rate, bytesPerFlop, activity, totalFlops float64
+	var solve func() ([]float64, error)
+	switch alg {
+	case "ime":
+		tab, err := ime.NewTable(sys)
+		if err != nil {
+			return err
+		}
+		st = imeStepper{tab}
+		rate, bytesPerFlop, activity = ime.EffFlopsPerCore, ime.DramBytesPerFlop, ime.CoreActivity
+		totalFlops = ime.TotalFlops(n)
+		solve = tab.Solution
+	case "scalapack":
+		lu, err := scalapack.NewLU(sys.A)
+		if err != nil {
+			return err
+		}
+		st = lu
+		rate, bytesPerFlop, activity = scalapack.EffFlopsPerCore, scalapack.DramBytesPerFlop, scalapack.CoreActivity
+		totalFlops = scalapack.TotalFlops(n)
+		solve = func() ([]float64, error) { return lu.Solve(sys.B) }
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	node, err := rapl.NewNode(0, power.Skylake8160())
+	if err != nil {
+		return err
+	}
+	lib, err := papi.Init(papi.Version, node)
+	if err != nil {
+		return err
+	}
+	es, err := lib.CreateEventSet()
+	if err != nil {
+		return err
+	}
+	if err := es.AddNamedEvents(papi.DefaultEventNames()); err != nil {
+		return err
+	}
+	if err := es.Start(); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-12s %-12s %-12s %-12s %-12s %-8s\n",
+		"t[s]", "PKG0[W]", "PKG1[W]", "DRAM0[W]", "DRAM1[W]", "left")
+	clock := 0.0
+	prev := make([]int64, 4)
+	prevT := 0.0
+	// Never sample finer than a few RAPL refresh intervals, or the trace
+	// would alternate between stale and double-counted readings.
+	const minSpacing = 2.5e-3
+	spacing := totalFlops / rate / float64(samples)
+	if spacing < minSpacing {
+		spacing = minSpacing
+		fmt.Fprintf(os.Stderr,
+			"powertrace: run is short (%.3fs virtual); sampling every %.1fms instead of %d samples\n",
+			totalFlops/rate, spacing*1e3, samples)
+	}
+	for st.Remaining() > 0 {
+		sampleAt := clock + spacing
+		for clock < sampleAt && st.Remaining() > 0 {
+			flops := st.StepFlops()
+			seconds := flops / rate
+			if err := node.AccountBusy(0, seconds*activity); err != nil {
+				return err
+			}
+			if err := node.AccountBytes(0, flops*bytesPerFlop); err != nil {
+				return err
+			}
+			clock += seconds
+			if err := node.SetTime(clock); err != nil {
+				return err
+			}
+			if err := st.Step(); err != nil {
+				return err
+			}
+		}
+		vals, err := es.Read()
+		if err != nil {
+			return err
+		}
+		dt := clock - prevT
+		if dt > 0 {
+			fmt.Printf("%-12.6f %-12.2f %-12.2f %-12.2f %-12.2f %-8d\n",
+				clock,
+				wattsOf(vals[0]-prev[0], dt), wattsOf(vals[1]-prev[1], dt),
+				wattsOf(vals[2]-prev[2], dt), wattsOf(vals[3]-prev[3], dt),
+				st.Remaining())
+		}
+		copy(prev, vals)
+		prevT = clock
+	}
+	totals, elapsed, err := es.Stop()
+	if err != nil {
+		return err
+	}
+	var sum float64
+	for _, v := range totals {
+		sum += float64(v) / papi.MicrojoulesPerJoule
+	}
+	x, err := solve()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s total: %.3f J over %.6f s (avg %.1f W), residual %.3g\n",
+		alg, sum, elapsed, sum/elapsed, mat.RelativeResidual(sys.A, x, sys.B))
+	return nil
+}
+
+func wattsOf(deltaUJ int64, dt float64) float64 {
+	return float64(deltaUJ) / papi.MicrojoulesPerJoule / dt
+}

@@ -1,0 +1,30 @@
+// Command table1 prints the paper's Table 1: the nine node/rank/socket
+// configurations tested on Marconi A3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	t, err := core.Table1()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = t.CSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+		os.Exit(1)
+	}
+}

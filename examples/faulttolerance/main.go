@@ -1,0 +1,90 @@
+// Fault tolerance: the IMe property the paper cites as its motivation —
+// checksum-based recovery from a hard rank failure mid-solve, without
+// checkpoint/restart. A rank's table block is wiped halfway through the
+// reduction; the checksum rows rebuild it and the solve finishes exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/ime"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+func main() {
+	const (
+		n     = 240
+		ranks = 6
+	)
+	sys := mat.NewRandomSystem(n, 99)
+	want, err := ime.SolveSequential(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fault := range []struct {
+		level int
+		ranks []int
+		desc  string
+	}{
+		{0, nil, "no fault (checksummed baseline)"},
+		{n / 2, []int{3}, "rank 3 dies halfway through the reduction"},
+		{n, []int{5}, "rank 5 dies before the first level"},
+		{1, []int{1}, "rank 1 dies right before the last level"},
+		{n / 3, []int{2, 4}, "ranks 2 and 4 die simultaneously"},
+		{n / 2, []int{1, 3, 5}, "three ranks die simultaneously"},
+	} {
+		x, err := solveWithFault(sys, ranks, fault.level, fault.ranks)
+		if err != nil {
+			log.Fatalf("%s: %v", fault.desc, err)
+		}
+		var maxDiff float64
+		for i := range x {
+			d := x[i] - want[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		fmt.Printf("%-48s residual %.3g, max deviation from fault-free run %.3g\n",
+			fault.desc, mat.RelativeResidual(sys.A, x, sys.B), maxDiff)
+	}
+	fmt.Println("\nThe checksum rows obey the same fundamental formula as data rows,")
+	fmt.Println("so one allreduce per row group rebuilds a lost block exactly —")
+	fmt.Println("IMe's low-cost alternative to Gaussian elimination's checkpoint/restart.")
+}
+
+func solveWithFault(sys *mat.System, ranks, level int, faults []int) ([]float64, error) {
+	w, err := mpi.NewWorld(ranks, mpi.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var x []float64
+	err = w.Run(func(p *mpi.Proc) error {
+		sol, err := ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{
+			Checksum:         true,
+			ChecksumSets:     3,
+			InjectFaultLevel: level,
+			InjectFaultRanks: faults,
+		})
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			x = sol
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}

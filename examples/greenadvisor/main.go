@@ -1,0 +1,43 @@
+// Green advisor: the paper's motivating scenario — "programmers could take
+// informed decisions to augment the energy efficiency of linear systems
+// resolutions" (§1). For each job shape the calibrated model recommends a
+// solver under three objectives: least energy, least time, best
+// flops-per-watt (the Green500 metric).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	prm := perfmodel.Params{Overlap: true}
+	fmt.Printf("%-8s %-6s | %-12s %-12s %-12s | %s\n",
+		"n", "ranks", "min-energy", "min-time", "max-gf/W", "energy (IMe vs ScaLAPACK)")
+	for _, n := range cluster.PaperMatrixDims() {
+		for _, ranks := range cluster.PaperRankCounts() {
+			var picks [3]core.Recommendation
+			for i, obj := range []core.Objective{core.MinEnergy, core.MinTime, core.MaxEfficiency} {
+				rec, err := core.Recommend(n, ranks, cluster.FullLoad, obj, prm)
+				if err != nil {
+					log.Fatal(err)
+				}
+				picks[i] = rec
+			}
+			fmt.Printf("%-8d %-6d | %-12s %-12s %-12s | %8.0f J vs %8.0f J\n",
+				n, ranks,
+				picks[0].Best, picks[1].Best, picks[2].Best,
+				picks[0].IMe.TotalJ, picks[0].ScaLAPACK.TotalJ)
+		}
+	}
+	fmt.Println("\nDense deployments favour ScaLAPACK on energy and time; in the most")
+	fmt.Println("distributed small-matrix cells IMe's overlap makes it both faster")
+	fmt.Println("and — through the shorter runtime — greener. Note the flops-per-watt")
+	fmt.Println("column: it picks IMe even where IMe burns more joules, because the")
+	fmt.Println("Green500-style metric rewards executing 2.25× the arithmetic for the")
+	fmt.Println("same answer — a known pathology of flops/W as a greenness measure.")
+}

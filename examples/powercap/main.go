@@ -1,0 +1,47 @@
+// Power capping: the paper's future-work experiment (§6) — restrict
+// package power with RAPL PL1 caps and observe how both solvers trade
+// execution time for power, and where capping starts costing net energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+)
+
+func main() {
+	const n = 17280
+	cfg, err := cluster.NewConfig(144, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := power.Skylake8160()
+	fmt.Printf("power-cap sweep: n=%d on %s (uncapped package ≈ %.0f W, TDP %.0f W)\n\n",
+		n, cfg.Label(), cal.PkgPower(24, 1), cal.TDP)
+	fmt.Printf("%-8s  %-28s  %-28s\n", "cap[W]", "IMe  (s, J, W)", "ScaLAPACK  (s, J, W)")
+	for _, capW := range []float64{0, 140, 130, 120, 110, 100, 90, 80} {
+		prm := perfmodel.Params{Overlap: true, PowerCapW: capW}
+		im, err := perfmodel.Run(perfmodel.IMe, n, cfg, prm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ge, err := perfmodel.Run(perfmodel.ScaLAPACK, n, cfg, prm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%.0f", capW)
+		if capW == 0 {
+			label = "none"
+		}
+		fmt.Printf("%-8s  %7.2fs %8.0fJ %7.0fW  %7.2fs %8.0fJ %7.0fW\n",
+			label,
+			im.DurationS, im.TotalJ, im.AvgPowerW(),
+			ge.DurationS, ge.TotalJ, ge.AvgPowerW())
+	}
+	fmt.Println("\nTighter caps cut average power but stretch execution; once the")
+	fmt.Println("stretch outpaces the power saving, total energy rises again —")
+	fmt.Println("the trade-off the paper proposes to investigate.")
+}

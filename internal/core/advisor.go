@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+)
+
+// The advisor is the paper's motivating use case made executable: "Being
+// aware of these results, programmers could take informed decisions to
+// augment the energy efficiency of linear systems resolutions" (§1). Given
+// a job shape, it models both solvers and recommends one under a chosen
+// objective.
+
+// Objective selects what the advisor optimises.
+type Objective int
+
+const (
+	// MinEnergy picks the lower total energy (the green choice).
+	MinEnergy Objective = iota
+	// MinTime picks the shorter duration.
+	MinTime
+	// MaxEfficiency picks the higher flops-per-watt (the Green500 metric).
+	MaxEfficiency
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "min-energy"
+	case MinTime:
+		return "min-time"
+	case MaxEfficiency:
+		return "max-gflops-per-watt"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Recommendation is the advisor's verdict for one job shape.
+type Recommendation struct {
+	Objective Objective
+	Best      perfmodel.Algorithm
+	IMe       Measurement
+	ScaLAPACK Measurement
+	// Margin is how much better the winner is on the objective metric
+	// (e.g. 0.35 = 35% less energy / less time / more efficiency).
+	Margin float64
+}
+
+// Recommend models both solvers for the job shape and picks a winner.
+func Recommend(n, ranks int, placement cluster.Placement, objective Objective, prm perfmodel.Params) (Recommendation, error) {
+	rec := Recommendation{Objective: objective}
+	var err error
+	rec.IMe, err = RunAnalytic(Experiment{
+		Algorithm: perfmodel.IMe, N: n, Ranks: ranks, Placement: placement,
+	}, prm)
+	if err != nil {
+		return rec, err
+	}
+	rec.ScaLAPACK, err = RunAnalytic(Experiment{
+		Algorithm: perfmodel.ScaLAPACK, N: n, Ranks: ranks, Placement: placement,
+	}, prm)
+	if err != nil {
+		return rec, err
+	}
+	var ime, ge float64
+	switch objective {
+	case MinEnergy:
+		ime, ge = rec.IMe.TotalJ, rec.ScaLAPACK.TotalJ
+	case MinTime:
+		ime, ge = rec.IMe.DurationS, rec.ScaLAPACK.DurationS
+	case MaxEfficiency:
+		// Invert so "smaller wins" below.
+		ime, ge = 1/rec.IMe.GFlopsPerWatt(), 1/rec.ScaLAPACK.GFlopsPerWatt()
+	default:
+		return rec, fmt.Errorf("core: unknown objective %v", objective)
+	}
+	if ime < ge {
+		rec.Best = perfmodel.IMe
+		rec.Margin = 1 - ime/ge
+	} else {
+		rec.Best = perfmodel.ScaLAPACK
+		rec.Margin = 1 - ge/ime
+	}
+	return rec, nil
+}

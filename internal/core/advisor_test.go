@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+)
+
+func TestRecommendMinTimeFollowsCrossover(t *testing.T) {
+	prm := perfmodel.Params{Overlap: true}
+	// Dense deployment: ScaLAPACK is the faster choice.
+	dense, err := Recommend(34560, 144, cluster.FullLoad, MinTime, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Best != perfmodel.ScaLAPACK {
+		t.Fatalf("dense min-time pick = %v", dense.Best)
+	}
+	if dense.Margin <= 0 || dense.Margin >= 1 {
+		t.Fatalf("margin = %g", dense.Margin)
+	}
+	// Distributed small problem: IMe wins on time.
+	distr, err := Recommend(8640, 1296, cluster.FullLoad, MinTime, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distr.Best != perfmodel.IMe {
+		t.Fatalf("distributed min-time pick = %v", distr.Best)
+	}
+}
+
+func TestRecommendMinEnergyPrefersScalapackWhenDense(t *testing.T) {
+	rec, err := Recommend(25920, 144, cluster.FullLoad, MinEnergy, perfmodel.Params{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != perfmodel.ScaLAPACK {
+		t.Fatalf("dense min-energy pick = %v", rec.Best)
+	}
+	// The margin should land near the paper's 50–60% energy gap.
+	if rec.Margin < 0.4 || rec.Margin > 0.65 {
+		t.Fatalf("energy margin = %.0f%%", rec.Margin*100)
+	}
+}
+
+func TestRecommendMaxEfficiency(t *testing.T) {
+	// ScaLAPACK does fewer flops AND uses less energy in dense cells, so
+	// on flops/W the verdict can differ from raw energy only when IMe's
+	// extra flops outweigh its energy penalty; verify the metric is
+	// computed and consistent.
+	rec, err := Recommend(17280, 144, cluster.FullLoad, MaxEfficiency, perfmodel.Params{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.IMe.GFlopsPerWatt() <= 0 || rec.ScaLAPACK.GFlopsPerWatt() <= 0 {
+		t.Fatal("efficiency metric not computed")
+	}
+	want := perfmodel.ScaLAPACK
+	if rec.IMe.GFlopsPerWatt() > rec.ScaLAPACK.GFlopsPerWatt() {
+		want = perfmodel.IMe
+	}
+	if rec.Best != want {
+		t.Fatalf("efficiency pick %v, metrics say %v", rec.Best, want)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(100, 7, cluster.FullLoad, MinEnergy, perfmodel.Params{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+	if _, err := Recommend(8640, 144, cluster.FullLoad, Objective(9), perfmodel.Params{}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	if MinEnergy.String() != "min-energy" || Objective(9).String() == "" {
+		t.Fatal("objective names broken")
+	}
+}

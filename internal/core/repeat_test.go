@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+)
+
+func TestRunRepeatedAnalyticStats(t *testing.T) {
+	e := Experiment{
+		Algorithm: perfmodel.ScaLAPACK,
+		N:         17280,
+		Ranks:     144,
+		Placement: cluster.FullLoad,
+	}
+	base, err := RunAnalytic(e, perfmodel.Params{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunRepeatedAnalytic(e, perfmodel.Params{Overlap: true}, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reps != 10 {
+		t.Fatalf("reps = %d", st.Reps)
+	}
+	if st.MinJ > st.MeanJ || st.MeanJ > st.MaxJ {
+		t.Fatalf("ordering broke: min %g mean %g max %g", st.MinJ, st.MeanJ, st.MaxJ)
+	}
+	if st.MinJ == st.MaxJ {
+		t.Fatal("variability produced identical repetitions")
+	}
+	// Mean within the variability band of the noise-free run.
+	if math.Abs(st.MeanJ-base.TotalJ)/base.TotalJ > 0.10 {
+		t.Fatalf("mean %g drifted from noise-free %g", st.MeanJ, base.TotalJ)
+	}
+	// Spread bounded by roughly twice the per-run variability of both
+	// duration and power.
+	if st.SpreadJ() > 0.25 {
+		t.Fatalf("energy spread %.1f%% too large for ±5%% variability", st.SpreadJ()*100)
+	}
+	if st.MinDurationS >= st.MaxDurationS {
+		t.Fatal("durations show no spread")
+	}
+}
+
+func TestRunRepeatedDeterministic(t *testing.T) {
+	e := Experiment{
+		Algorithm: perfmodel.IMe,
+		N:         8640,
+		Ranks:     144,
+		Placement: cluster.FullLoad,
+	}
+	a, err := RunRepeatedAnalytic(e, perfmodel.Params{Overlap: true}, 5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRepeatedAnalytic(e, perfmodel.Params{Overlap: true}, 5, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanJ != b.MeanJ || a.MaxDurationS != b.MaxDurationS {
+		t.Fatal("repetition study not reproducible")
+	}
+	if _, err := RunRepeatedAnalytic(e, perfmodel.Params{}, 0, 0.1); err == nil {
+		t.Fatal("zero repetitions accepted")
+	}
+}
+
+func TestRepetitionStudyTable(t *testing.T) {
+	cells := []SweepKey{
+		{Algorithm: perfmodel.IMe, N: 8640, Ranks: 144, Placement: cluster.FullLoad},
+		{Algorithm: perfmodel.ScaLAPACK, N: 8640, Ranks: 144, Placement: cluster.FullLoad},
+	}
+	tab, err := RepetitionStudy(cells, perfmodel.Params{Overlap: true}, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+}
+
+func TestZeroVariabilityReproducesExactly(t *testing.T) {
+	e := Experiment{
+		Algorithm: perfmodel.IMe,
+		N:         8640,
+		Ranks:     144,
+		Placement: cluster.FullLoad,
+	}
+	st, err := RunRepeatedAnalytic(e, perfmodel.Params{Overlap: true}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MinJ != st.MaxJ || st.MinDurationS != st.MaxDurationS {
+		t.Fatal("zero variability must give identical repetitions")
+	}
+}

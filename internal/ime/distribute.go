@@ -1,0 +1,94 @@
+package ime
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// newScatteredState builds a rank's table block in master-reads-and-
+// scatters mode (ParallelOptions.DistributeInput): only the master holds
+// the system; a metadata broadcast shares the order (and propagates
+// validation failures to every rank so nobody deadlocks), then one
+// MPI_Scatter ships each rank its pre-scaled rows of G. The scaling
+// happens at the master with the same b·(1/d) arithmetic as the local
+// path, so results stay bit-identical to the shared-input mode.
+func newScatteredState(p *mpi.Proc, c *mpi.Comm, sys *mat.System, me, ranks int, opts ParallelOptions) (*parallelState, error) {
+	if opts.Checksum {
+		return nil, fmt.Errorf("ime: checksum rows need the globally known system; use shared input")
+	}
+	// Metadata broadcast: [status, n].
+	var meta []float64
+	var masterErr error
+	if me == masterRank {
+		switch {
+		case sys == nil:
+			masterErr = fmt.Errorf("ime: master needs the input system")
+		case sys.Validate() != nil:
+			masterErr = sys.Validate()
+		case ranks > sys.N():
+			masterErr = fmt.Errorf("ime: %d ranks exceed system order %d", ranks, sys.N())
+		}
+		if masterErr != nil {
+			meta = []float64{1, 0}
+		} else {
+			meta = []float64{0, float64(sys.N())}
+		}
+	}
+	meta, err := p.Bcast(c, masterRank, meta)
+	if err != nil {
+		return nil, err
+	}
+	if meta[0] != 0 {
+		if masterErr != nil {
+			return nil, masterErr
+		}
+		return nil, fmt.Errorf("ime: master rejected the input system")
+	}
+	n := int(meta[1])
+
+	// The master builds every rank's pre-scaled block and its own full
+	// state; slaves receive their block through the scatter.
+	var chunks [][]float64
+	var masterState *parallelState
+	if me == masterRank {
+		masterState, err = newParallelState(sys, masterRank, ranks, opts)
+		if err != nil {
+			return nil, err
+		}
+		chunks = make([][]float64, ranks)
+		for r := 0; r < ranks; r++ {
+			lo, hi := BlockRange(n, ranks, r)
+			flat := make([]float64, 0, (hi-lo)*n)
+			for i := lo; i < hi; i++ {
+				inv := 1 / sys.A.At(i, i)
+				src := sys.A.Row(i)
+				for _, v := range src {
+					flat = append(flat, v*inv)
+				}
+			}
+			chunks[r] = flat
+		}
+	}
+	myChunk, err := p.Scatter(c, masterRank, chunks)
+	if err != nil {
+		return nil, err
+	}
+	if me == masterRank {
+		return masterState, nil
+	}
+	lo, hi := BlockRange(n, ranks, me)
+	if len(myChunk) != (hi-lo)*n {
+		return nil, fmt.Errorf("ime: scattered block has %d entries, want %d", len(myChunk), (hi-lo)*n)
+	}
+	st := &parallelState{n: n, me: me, ranks: ranks, lo: lo, hi: hi}
+	st.rows = make([][]float64, hi-lo)
+	for i := range st.rows {
+		st.rows[i] = myChunk[i*n : (i+1)*n : (i+1)*n]
+	}
+	// h arrives with the init broadcast; allocate a placeholder of the
+	// right length so the state is structurally complete.
+	st.h = make([]float64, n)
+	return st, nil
+}

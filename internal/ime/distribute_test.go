@@ -1,0 +1,135 @@
+package ime
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+func TestDistributeInputMatchesSharedBitwise(t *testing.T) {
+	for _, tc := range []struct{ n, ranks int }{
+		{12, 2}, {20, 4}, {21, 5},
+	} {
+		sys := mat.NewRandomSystem(tc.n, int64(tc.n*17+tc.ranks))
+		shared, _ := runParallel(t, sys, tc.ranks, ParallelOptions{})
+
+		w, err := mpi.NewWorld(tc.ranks, mpi.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var scattered []float64
+		err = w.Run(func(p *mpi.Proc) error {
+			// Only the master passes the system.
+			in := sys
+			if p.Rank() != 0 {
+				in = nil
+			}
+			x, err := SolveParallel(p, p.World(), in, ParallelOptions{DistributeInput: true})
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				mu.Lock()
+				scattered = x
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range shared {
+			if scattered[i] != shared[i] {
+				t.Fatalf("n=%d ranks=%d: scattered x[%d] = %g, shared %g",
+					tc.n, tc.ranks, i, scattered[i], shared[i])
+			}
+		}
+	}
+}
+
+func TestDistributeInputWithOverlap(t *testing.T) {
+	sys := mat.NewRandomSystem(24, 9)
+	shared, _ := runParallel(t, sys, 4, ParallelOptions{})
+	w, err := mpi.NewWorld(4, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var x []float64
+	err = w.Run(func(p *mpi.Proc) error {
+		in := sys
+		if p.Rank() != 0 {
+			in = nil
+		}
+		sol, err := SolveParallel(p, p.World(), in, ParallelOptions{
+			DistributeInput: true, Overlap: true,
+		})
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			x = sol
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shared {
+		if x[i] != shared[i] {
+			t.Fatalf("overlap+scatter diverged at %d", i)
+		}
+	}
+}
+
+func TestDistributeInputErrorsPropagateToAllRanks(t *testing.T) {
+	// A nil system at the master must fail every rank instead of
+	// deadlocking the slaves.
+	w, err := mpi.NewWorld(3, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 0
+	err = w.Run(func(p *mpi.Proc) error {
+		_, err := SolveParallel(p, p.World(), nil, ParallelOptions{DistributeInput: true})
+		if err != nil {
+			mu.Lock()
+			failures++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("%d ranks failed, want all 3", failures)
+	}
+}
+
+func TestDistributeInputRejectsChecksum(t *testing.T) {
+	sys := mat.NewRandomSystem(12, 3)
+	w, err := mpi.NewWorld(2, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		_, err := SolveParallel(p, p.World(), sys, ParallelOptions{
+			DistributeInput: true, Checksum: true,
+		})
+		if err == nil || !strings.Contains(err.Error(), "shared input") {
+			return errFmt("checksum+scatter accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

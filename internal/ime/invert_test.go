@@ -1,0 +1,139 @@
+package ime
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestInvertSequentialIdentity(t *testing.T) {
+	inv, err := InvertSequential(mat.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.EqualApprox(mat.Identity(5), 1e-14) {
+		t.Fatal("I⁻¹ != I")
+	}
+}
+
+func TestInvertSequentialKnown(t *testing.T) {
+	// [[2,0],[0,4]]⁻¹ = [[0.5,0],[0,0.25]]
+	a, _ := mat.NewFromData(2, 2, []float64{2, 0, 0, 4})
+	inv, err := InvertSequential(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.At(0, 0) != 0.5 || inv.At(1, 1) != 0.25 || inv.At(0, 1) != 0 {
+		t.Fatalf("inverse = %v", inv)
+	}
+}
+
+func TestInvertSequentialReconstruction(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 20, 50} {
+		a := mat.NewDiagonallyDominant(n, int64(n)+17)
+		inv, err := InvertSequential(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !a.Mul(inv).EqualApprox(mat.Identity(n), 1e-9) {
+			t.Fatalf("n=%d: A·A⁻¹ != I", n)
+		}
+		if !inv.Mul(a).EqualApprox(mat.Identity(n), 1e-9) {
+			t.Fatalf("n=%d: A⁻¹·A != I", n)
+		}
+	}
+}
+
+func TestInvertMatchesSolve(t *testing.T) {
+	// x = A⁻¹·b must equal the solver's answer.
+	sys := mat.NewRandomSystem(24, 31)
+	inv, err := InvertSequential(sys.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaInverse := inv.MulVec(sys.B)
+	viaSolve, err := SolveSequential(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaSolve {
+		if math.Abs(viaInverse[i]-viaSolve[i]) > 1e-8*(1+math.Abs(viaSolve[i])) {
+			t.Fatalf("x[%d]: inverse path %g vs solve path %g", i, viaInverse[i], viaSolve[i])
+		}
+	}
+}
+
+func TestInvertSequentialQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		m := seed % 15
+		if m < 0 {
+			m = -m
+		}
+		n := int(m) + 1
+		a := mat.NewDiagonallyDominant(n, seed)
+		inv, err := InvertSequential(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).EqualApprox(mat.Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	// Identity: κ = 1 exactly.
+	c, err := ConditionEstimate(mat.Identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Fatalf("κ(I) = %g, want 1", c)
+	}
+	// Scaling a matrix does not change its condition number.
+	a := mat.NewDiagonallyDominant(10, 5)
+	scaled := a.Clone()
+	for i := 0; i < 10; i++ {
+		row := scaled.Row(i)
+		for j := range row {
+			row[j] *= 100
+		}
+	}
+	ca, err := ConditionEstimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ConditionEstimate(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ca-cs)/ca > 1e-10 {
+		t.Fatalf("κ changed under scaling: %g vs %g", ca, cs)
+	}
+	// An almost-dependent pair of rows inflates κ.
+	bad, _ := mat.NewFromData(2, 2, []float64{1, 1, 1, 1 + 1e-9})
+	cb, err := ConditionEstimate(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb < 1e8 {
+		t.Fatalf("κ(near-singular) = %g, want huge", cb)
+	}
+	if _, err := ConditionEstimate(mat.New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestInvertSequentialErrors(t *testing.T) {
+	if _, err := InvertSequential(mat.New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	singular, _ := mat.NewFromData(2, 2, []float64{0, 1, 1, 0})
+	if _, err := InvertSequential(singular); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}

@@ -1,0 +1,146 @@
+package ime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// InvertParallel computes A⁻¹ with the distributed Inhibition Method over
+// the full table [E | G]: the same row distribution and per-level
+// communication as SolveParallel, with the pivot broadcast extended by the
+// E block's pivot-row segment so every rank can update its share of both
+// halves. The master gathers the inverse at the end and broadcasts it.
+//
+// Arithmetic is identical to InvertSequential (row updates are
+// independent), so the two agree bit for bit.
+func InvertParallel(p *mpi.Proc, c *mpi.Comm, a *mat.Dense, opts ParallelOptions) (*mat.Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("ime: invert needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	ranks := c.Size()
+	if ranks > n {
+		return nil, fmt.Errorf("ime: %d ranks exceed order %d", ranks, n)
+	}
+	if opts.ChargeCosts {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+	lo, hi := BlockRange(n, ranks, me)
+
+	// Owned rows of both blocks.
+	g := make([][]float64, hi-lo)
+	e := make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		d := a.At(i, i)
+		if math.Abs(d) < pivotTolerance {
+			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
+		}
+		inv := 1 / d
+		grow := make([]float64, n)
+		src := a.Row(i)
+		for j, v := range src {
+			grow[j] = v * inv
+		}
+		erow := make([]float64, n)
+		erow[i] = inv
+		g[i-lo] = grow
+		e[i-lo] = erow
+	}
+
+	for l := n; l >= 1; l-- {
+		owner := OwnerOf(n, ranks, l-1)
+		// Pivot payload: normalised G segment (l) + E segment (n−l+2
+		// entries: cols l−1..n−1) + pivot value.
+		var payload []float64
+		if me == owner {
+			grow := g[l-1-lo]
+			erow := e[l-1-lo]
+			piv := grow[l-1]
+			if math.Abs(piv) < pivotTolerance {
+				return nil, fmt.Errorf("%w: level %d pivot is %g", ErrSingular, l, piv)
+			}
+			inv := 1 / piv
+			for j := 0; j < l; j++ {
+				grow[j] *= inv
+			}
+			for j := l - 1; j < n; j++ {
+				erow[j] *= inv
+			}
+			payload = make([]float64, 0, l+(n-l+1)+1)
+			payload = append(payload, grow[:l]...)
+			payload = append(payload, erow[l-1:]...)
+			payload = append(payload, piv)
+		}
+		payload, err = p.Bcast(c, owner, payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) != l+(n-l+1)+1 {
+			return nil, fmt.Errorf("ime: invert payload length %d at level %d", len(payload), l)
+		}
+		gseg := payload[:l]
+		eseg := payload[l : l+(n-l+1)]
+		for i := lo; i < hi; i++ {
+			if i == l-1 {
+				continue
+			}
+			grow := g[i-lo]
+			m := grow[l-1]
+			if m == 0 {
+				continue
+			}
+			for j := 0; j < l; j++ {
+				grow[j] -= m * gseg[j]
+			}
+			erow := e[i-lo]
+			for j := l - 1; j < n; j++ {
+				erow[j] -= m * eseg[j-(l-1)]
+			}
+		}
+		if opts.ChargeCosts {
+			// The full-table reduction performs roughly double the
+			// solve-path work per level.
+			flops := 2 * LevelFlops(n, l) * float64(hi-lo) / float64(n)
+			p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
+		}
+	}
+
+	// Gather E (the inverse) at the master, then broadcast it.
+	flat := make([]float64, 0, (hi-lo)*n)
+	for _, row := range e {
+		flat = append(flat, row...)
+	}
+	parts, err := p.Gather(c, masterRank, flat)
+	if err != nil {
+		return nil, err
+	}
+	var full []float64
+	if me == masterRank {
+		full = make([]float64, 0, n*n)
+		for r := 0; r < ranks; r++ {
+			rlo, rhi := BlockRange(n, ranks, r)
+			if len(parts[r]) != (rhi-rlo)*n {
+				return nil, fmt.Errorf("ime: rank %d sent %d inverse entries, want %d",
+					r, len(parts[r]), (rhi-rlo)*n)
+			}
+			full = append(full, parts[r]...)
+		}
+	}
+	full, err = p.Bcast(c, masterRank, full)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := mat.NewFromData(n, n, full)
+	if err != nil {
+		return nil, err
+	}
+	return inv, nil
+}

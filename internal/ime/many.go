@@ -1,0 +1,81 @@
+package ime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SolveSequentialMany solves A·x_k = b_k for several right-hand sides in a
+// single reduction: IMe being non-inverting, the table work (the n³ part)
+// is shared and each extra right-hand side only adds its own auxiliary
+// vector at O(n) per level — the same economics as LU factor-once,
+// solve-many.
+func SolveSequentialMany(a *mat.Dense, rhs [][]float64) ([][]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("ime: solve-many needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("ime: no right-hand sides")
+	}
+	for k, b := range rhs {
+		if len(b) != n {
+			return nil, fmt.Errorf("ime: rhs %d has length %d, want %d", k, len(b), n)
+		}
+	}
+	g := mat.New(n, n)
+	hs := make([][]float64, len(rhs))
+	for k := range hs {
+		hs[k] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if math.Abs(d) < pivotTolerance {
+			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
+		}
+		inv := 1 / d
+		src := a.Row(i)
+		dst := g.Row(i)
+		for j, v := range src {
+			dst[j] = v * inv
+		}
+		for k := range hs {
+			hs[k][i] = rhs[k][i] * inv
+		}
+	}
+	for l := n; l >= 1; l-- {
+		row := g.Row(l - 1)
+		p := row[l-1]
+		if math.Abs(p) < pivotTolerance {
+			return nil, fmt.Errorf("%w: level %d pivot is %g", ErrSingular, l, p)
+		}
+		inv := 1 / p
+		for j := 0; j < l; j++ {
+			row[j] *= inv
+		}
+		for k := range hs {
+			// Divide rather than multiply by the reciprocal: bit-identical
+			// to the single-rhs Table reduction.
+			hs[k][l-1] /= p
+		}
+		for i := 0; i < n; i++ {
+			if i == l-1 {
+				continue
+			}
+			gi := g.Row(i)
+			m := gi[l-1]
+			if m == 0 {
+				continue
+			}
+			for j := 0; j < l; j++ {
+				gi[j] -= m * row[j]
+			}
+			for k := range hs {
+				hs[k][i] -= m * hs[k][l-1]
+			}
+		}
+	}
+	return hs, nil
+}

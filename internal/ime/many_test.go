@@ -1,0 +1,66 @@
+package ime
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSolveManyMatchesSingleBitwise(t *testing.T) {
+	sys := mat.NewRandomSystem(32, 71)
+	single, err := SolveSequential(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SolveSequentialMany(sys.A, [][]float64{sys.B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		if many[0][i] != single[i] {
+			t.Fatalf("x[%d]: many %g != single %g", i, many[0][i], single[i])
+		}
+	}
+}
+
+func TestSolveManySeveralRHS(t *testing.T) {
+	const n, k = 40, 5
+	a := mat.NewDiagonallyDominant(n, 3)
+	rhs := make([][]float64, k)
+	xs := make([][]float64, k)
+	for j := range rhs {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64((i+1)*(j+2)) / 11
+		}
+		xs[j] = x
+		rhs[j] = a.MulVec(x)
+	}
+	got, err := SolveSequentialMany(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if rr := mat.RelativeResidual(a, got[j], rhs[j]); rr > 1e-12 {
+			t.Fatalf("rhs %d: residual %g", j, rr)
+		}
+	}
+}
+
+func TestSolveManyValidation(t *testing.T) {
+	a := mat.NewDiagonallyDominant(4, 1)
+	if _, err := SolveSequentialMany(mat.New(2, 3), [][]float64{{1, 2}}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := SolveSequentialMany(a, nil); err == nil {
+		t.Error("empty rhs set accepted")
+	}
+	if _, err := SolveSequentialMany(a, [][]float64{{1}}); err == nil {
+		t.Error("short rhs accepted")
+	}
+	singular, _ := mat.NewFromData(2, 2, []float64{0, 1, 1, 0})
+	if _, err := SolveSequentialMany(singular, [][]float64{{1, 2}}); !errors.Is(err, ErrSingular) {
+		t.Error("singular diagonal accepted")
+	}
+}

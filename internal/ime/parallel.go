@@ -1,0 +1,285 @@
+package ime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// ParallelOptions tunes SolveParallel.
+type ParallelOptions struct {
+	// ChargeCosts enables virtual-time/energy accounting of compute per
+	// the published 3/2·n³ complexity. Disable for pure numerics tests.
+	ChargeCosts bool
+	// Overlap selects the communication/computation-overlap variant (see
+	// overlap.go): identical arithmetic, pivot rows shipped one level
+	// early with non-blocking sends, no per-level h broadcast. Not
+	// combinable with fault injection.
+	Overlap bool
+	// Checksum enables the fault-tolerance checksum rows (the extension
+	// the paper cites as IMe's advantage [7]); see ft.go.
+	Checksum bool
+	// ChecksumSets is the number of independent checksum sets, bounding
+	// how many simultaneous rank faults are recoverable (default 1).
+	ChecksumSets int
+	// InjectFaultLevel, when >0 with Checksum, wipes the table blocks of
+	// the fault ranks right before processing that level, forcing
+	// recovery. InjectFaultRanks lists the simultaneously failing ranks;
+	// when empty, InjectFaultRank selects a single one.
+	InjectFaultLevel int
+	InjectFaultRank  int
+	InjectFaultRanks []int
+	// DistributeInput switches from the paper's shared-file input model
+	// (every rank passes the same system) to master-reads-and-scatters:
+	// only comm rank 0 needs sys; the table blocks travel over an
+	// MPI_Scatter. Not combinable with Checksum (whose rows are built from
+	// the globally known system).
+	DistributeInput bool
+}
+
+// faultRanks resolves the configured fault set.
+func (o ParallelOptions) faultRanks() []int {
+	if len(o.InjectFaultRanks) > 0 {
+		return o.InjectFaultRanks
+	}
+	return []int{o.InjectFaultRank}
+}
+
+// masterRank is comm rank 0: the paper's master that owns the auxiliary
+// vector h and receives the per-level last-row entries.
+const masterRank = 0
+
+// SolveParallel solves A·x = b with the column-wise parallel Inhibition
+// Method (IMeP) over communicator c. Every rank must pass the same system
+// (the paper loads the input from a file visible to all nodes) and calls
+// this collectively; all ranks return the solution.
+//
+// Per level l = n … 1 the protocol follows §2.1 exactly:
+//
+//  1. the master broadcasts h;
+//  2. the owner of table column t_{*,n+l} (pivot row l of G) normalises
+//     and broadcasts it, appending the pre-normalisation pivot;
+//  3. every rank applies the fundamental formula to its owned block;
+//  4. the slaves send the modified last-row entries (the multipliers) of
+//     their blocks to the master, which updates h.
+//
+// After the last level the master broadcasts h, which now equals x.
+func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptions) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	ranks := c.Size()
+	if opts.ChargeCosts {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+
+	var st *parallelState
+	if opts.DistributeInput {
+		st, err = newScatteredState(p, c, sys, me, ranks, opts)
+	} else {
+		if err := sys.Validate(); err != nil {
+			return nil, err
+		}
+		if ranks > sys.N() {
+			return nil, fmt.Errorf("ime: %d ranks exceed system order %d", ranks, sys.N())
+		}
+		st, err = newParallelState(sys, me, ranks, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Overlap {
+		if opts.InjectFaultLevel > 0 {
+			return nil, fmt.Errorf("ime: fault injection requires the synchronous variant")
+		}
+		return solveOverlapped(p, c, sys, st, opts, me)
+	}
+
+	// Initialisation broadcasts (the 2(N−1) init messages of M_IMeP): the
+	// master shares h and the full initial last column t_{*,2n}, which it
+	// derives from the input system.
+	n := st.n
+	h0, err := p.Bcast(c, masterRank, st.h)
+	if err != nil {
+		return nil, err
+	}
+	if me != masterRank {
+		st.h = h0
+	}
+	var initCol []float64
+	if me == masterRank {
+		initCol = make([]float64, n)
+		for i := 0; i < n; i++ {
+			initCol[i] = sys.A.At(i, n-1) * (1 / sys.A.At(i, i))
+		}
+	}
+	if _, err := p.Bcast(c, masterRank, initCol); err != nil {
+		return nil, err
+	}
+
+	for l := n; l >= 1; l-- {
+		if opts.Checksum && opts.InjectFaultLevel == l {
+			if err := st.injectAndRecover(p, c, opts.faultRanks()); err != nil {
+				return nil, err
+			}
+		}
+		if err := solveLevel(p, c, st, l, opts.ChargeCosts); err != nil {
+			return nil, fmt.Errorf("ime: level %d: %w", l, err)
+		}
+	}
+
+	x, err := p.Bcast(c, masterRank, st.h)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// parallelState is one rank's share of the reduction.
+type parallelState struct {
+	n, me, ranks int
+	lo, hi       int // owned row range of G
+	// rows holds the owned block of G, row-major, rows[i-lo].
+	rows [][]float64
+	// h is the local copy of the auxiliary vector (authoritative at the
+	// master, refreshed by the per-level broadcast elsewhere).
+	h []float64
+	// cs is the owned block of the checksum columns (nil without FT).
+	cs *checksumState
+	// pendingPivot stashes the payload the overlapped variant shipped
+	// early, for the owner's own consumption at the next level.
+	pendingPivot []float64
+}
+
+func newParallelState(sys *mat.System, me, ranks int, opts ParallelOptions) (*parallelState, error) {
+	n := sys.N()
+	lo, hi := BlockRange(n, ranks, me)
+	st := &parallelState{n: n, me: me, ranks: ranks, lo: lo, hi: hi}
+	st.rows = make([][]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		d := sys.A.At(i, i)
+		if math.Abs(d) < pivotTolerance {
+			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
+		}
+		row := make([]float64, n)
+		src := sys.A.Row(i)
+		inv := 1 / d
+		for j, v := range src {
+			row[j] = v * inv
+		}
+		st.rows[i-lo] = row
+	}
+	st.h = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := sys.A.At(i, i)
+		if math.Abs(d) < pivotTolerance {
+			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
+		}
+		// b_i·(1/d) rather than b_i/d: bit-identical to the sequential
+		// table initialisation, so the two paths agree exactly.
+		st.h[i] = sys.B[i] * (1 / d)
+	}
+	if opts.Checksum {
+		st.cs = newChecksums(sys, st, opts.ChecksumSets)
+	}
+	return st, nil
+}
+
+// owns reports whether this rank owns global row i.
+func (st *parallelState) owns(i int) bool { return i >= st.lo && i < st.hi }
+
+// row returns the owned global row i.
+func (st *parallelState) row(i int) []float64 { return st.rows[i-st.lo] }
+
+// solveLevel runs one level of the distributed reduction.
+func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool) error {
+	n := st.n
+	// (1) master broadcasts h (the paper's per-level h share).
+	h, err := p.Bcast(c, masterRank, st.h)
+	if err != nil {
+		return err
+	}
+	if st.me != masterRank {
+		st.h = h
+	}
+
+	// (2) pivot-row broadcast by its owner: normalised effective segment
+	// plus the pre-normalisation pivot value.
+	owner := OwnerOf(n, st.ranks, l-1)
+	var payload []float64
+	if st.me == owner {
+		row := st.row(l - 1)
+		piv := row[l-1]
+		if math.Abs(piv) < pivotTolerance {
+			return fmt.Errorf("%w: pivot %g", ErrSingular, piv)
+		}
+		inv := 1 / piv
+		for j := 0; j < l; j++ {
+			row[j] *= inv
+		}
+		payload = make([]float64, l+1)
+		copy(payload, row[:l])
+		payload[l] = piv
+	}
+	payload, err = p.Bcast(c, owner, payload)
+	if err != nil {
+		return err
+	}
+	if len(payload) != l+1 {
+		return fmt.Errorf("pivot payload length %d, want %d", len(payload), l+1)
+	}
+	pr, piv := payload[:l], payload[l]
+
+	// (3) fundamental formula on the owned block; collect the modified
+	// last-row (multiplier) entries.
+	ms := make([]float64, st.hi-st.lo)
+	for i := st.lo; i < st.hi; i++ {
+		if i == l-1 {
+			continue
+		}
+		row := st.row(i)
+		m := row[l-1]
+		ms[i-st.lo] = m
+		if m != 0 {
+			for j := 0; j < l; j++ {
+				row[j] -= m * pr[j]
+			}
+		}
+	}
+	if st.cs != nil {
+		st.cs.step(l, pr, piv)
+	}
+	if charge {
+		flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
+		p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
+	}
+
+	// (4) slaves send their multiplier chunks; the master updates h.
+	chunks, err := p.Gather(c, masterRank, ms)
+	if err != nil {
+		return err
+	}
+	if st.me == masterRank {
+		st.h[l-1] /= piv
+		hl := st.h[l-1]
+		for r := 0; r < st.ranks; r++ {
+			rlo, rhi := BlockRange(n, st.ranks, r)
+			chunk := chunks[r]
+			if len(chunk) != rhi-rlo {
+				return fmt.Errorf("rank %d sent %d multipliers, want %d", r, len(chunk), rhi-rlo)
+			}
+			for i := rlo; i < rhi; i++ {
+				if i == l-1 {
+					continue
+				}
+				st.h[i] -= chunk[i-rlo] * hl
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandedShapeValidation(t *testing.T) {
+	if _, err := NewBanded(0, 0, 0); err == nil {
+		t.Error("zero order accepted")
+	}
+	if _, err := NewBanded(4, 4, 0); err == nil {
+		t.Error("kl ≥ n accepted")
+	}
+	if _, err := NewBanded(4, 0, -1); err == nil {
+		t.Error("negative ku accepted")
+	}
+}
+
+func TestBandedAtSet(t *testing.T) {
+	b, err := NewBanded(5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Set(2, 1, -3) // subdiagonal
+	b.Set(2, 4, 7)  // second superdiagonal
+	if b.At(2, 1) != -3 || b.At(2, 4) != 7 {
+		t.Fatal("round trip failed")
+	}
+	if b.At(0, 4) != 0 {
+		t.Fatal("out-of-band read should be zero")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-band write accepted")
+			}
+		}()
+		b.Set(0, 4, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-bounds read accepted")
+			}
+		}()
+		b.At(5, 0)
+	}()
+}
+
+func TestBandedDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%20+20) % 20
+		if n < 3 {
+			n = 3
+		}
+		kl := int(seed>>8) % 3
+		if kl < 0 {
+			kl = -kl
+		}
+		ku := int(seed>>16) % 3
+		if ku < 0 {
+			ku = -ku
+		}
+		b, err := NewBandedDiagonallyDominant(n, kl, ku, seed)
+		if err != nil {
+			return false
+		}
+		dense := b.Dense()
+		back, err := BandedFromDense(dense, kl, ku)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if back.At(i, j) != b.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedFromDenseRejectsOutOfBand(t *testing.T) {
+	a := New(4, 4)
+	a.Set(0, 3, 5) // outside a kl=1, ku=1 band
+	if _, err := BandedFromDense(a, 1, 1); err == nil {
+		t.Fatal("out-of-band entry accepted")
+	}
+	if _, err := BandedFromDense(New(2, 3), 1, 1); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestBandedMulVecMatchesDense(t *testing.T) {
+	b, err := NewBandedDiagonallyDominant(12, 2, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i) - 5.5
+	}
+	got := b.MulVec(x)
+	want := b.Dense().MulVec(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec[%d] = %g, dense %g", i, got[i], want[i])
+		}
+	}
+}

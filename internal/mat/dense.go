@@ -1,0 +1,235 @@
+// Package mat provides dense matrices and vectors with contiguous storage,
+// deterministic generators, file I/O and the norms needed to validate
+// linear-system solvers.
+//
+// The paper stores coefficient matrices contiguously ("matrices allocation
+// is tested in a contiguous form") and loads input systems from file so
+// repeated measurements see identical data; this package reproduces both
+// behaviours.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major matrix with contiguous backing storage.
+// The zero value is an empty matrix; use New or NewFromData to build one.
+type Dense struct {
+	rows, cols int
+	// stride is the distance in elements between vertically adjacent
+	// elements. For matrices created by New it equals cols; views created
+	// by Slice may have a larger stride over shared storage.
+	stride int
+	data   []float64
+}
+
+// New returns a zeroed r×c matrix backed by a single contiguous allocation.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, stride: c, data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data (row-major, len r*c) without copying.
+func NewFromData(r, c int, data []float64) (*Dense, error) {
+	if r < 0 || c < 0 {
+		return nil, fmt.Errorf("mat: negative dimension %d×%d", r, c)
+	}
+	if len(data) != r*c {
+		return nil, fmt.Errorf("mat: data length %d does not match %d×%d", len(data), r, c)
+	}
+	return &Dense{rows: r, cols: c, stride: c, data: data}, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Stride returns the row stride of the backing storage.
+func (m *Dense) Stride() int { return m.stride }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.stride+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.stride+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a slice aliasing row i. Mutating the slice mutates the matrix.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds %d×%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.stride : i*m.stride+m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of bounds %d×%d", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.stride+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v (len must equal Rows).
+func (m *Dense) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("mat: SetCol length %d != rows %d", len(v), m.rows))
+	}
+	for i, x := range v {
+		m.data[i*m.stride+j] = x
+	}
+}
+
+// Data returns the backing slice when the matrix is contiguous
+// (stride == cols); it errors for strided views.
+func (m *Dense) Data() ([]float64, error) {
+	if m.stride != m.cols {
+		return nil, errors.New("mat: matrix is a strided view, not contiguous")
+	}
+	return m.data, nil
+}
+
+// Clone returns a deep, contiguous copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// Slice returns a view of the rectangle [r0,r1)×[c0,c1) sharing storage
+// with m.
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: bad slice [%d:%d,%d:%d] of %d×%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	return &Dense{
+		rows:   r1 - r0,
+		cols:   c1 - c0,
+		stride: m.stride,
+		data:   m.data[r0*m.stride+c0 : (r1-1)*m.stride+c1],
+	}
+}
+
+// SwapRows exchanges rows i and k in place.
+func (m *Dense) SwapRows(i, k int) {
+	if i == k {
+		return
+	}
+	ri, rk := m.Row(i), m.Row(k)
+	for j := range ri {
+		ri[j], rk[j] = rk[j], ri[j]
+	}
+}
+
+// MulVec returns A·x for x of length Cols.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVec length %d != cols %d", len(x), m.cols))
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns the matrix product A·B.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*out.stride+i] = v
+		}
+	}
+	return out
+}
+
+// EqualApprox reports whether m and b have the same shape and all elements
+// within tol of each other.
+func (m *Dense) EqualApprox(b *Dense, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Abs(ra[j]-rb[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large matrices are elided.
+func (m *Dense) String() string {
+	const maxShow = 8
+	if m.rows > maxShow || m.cols > maxShow {
+		return fmt.Sprintf("Dense{%d×%d}", m.rows, m.cols)
+	}
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%v\n", m.Row(i))
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewFromData(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m, err := NewFromData(2, 3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	if _, err := NewFromData(2, 2, d); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(5, 5)
+	m.Set(2, 3, 7.5)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(5) },
+		func() { m.Col(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 2)
+	m.Row(0)[1] = 42
+	if m.At(0, 1) != 42 {
+		t.Fatal("Row does not alias backing storage")
+	}
+}
+
+func TestColAndSetCol(t *testing.T) {
+	m := New(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	got := m.Col(1)
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Col(1)[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDiagonallyDominant(4, 1)
+	c := m.Clone()
+	c.Set(0, 0, -999)
+	if m.At(0, 0) == -999 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !m.EqualApprox(m.Clone(), 0) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	m := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.Slice(1, 3, 1, 4)
+	if v.Rows() != 2 || v.Cols() != 3 {
+		t.Fatalf("slice shape %d×%d, want 2×3", v.Rows(), v.Cols())
+	}
+	if v.At(0, 0) != 11 || v.At(1, 2) != 23 {
+		t.Fatalf("slice content wrong: %v %v", v.At(0, 0), v.At(1, 2))
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 1) != -1 {
+		t.Fatal("Slice must share storage")
+	}
+	if _, err := v.Data(); err == nil && v.Stride() != v.Cols() {
+		t.Fatal("Data must refuse strided views")
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m := New(2, 3)
+	m.SetCol(0, []float64{1, 2})
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 2 || m.At(1, 0) != 1 {
+		t.Fatal("SwapRows failed")
+	}
+	m.SwapRows(1, 1) // no-op must not panic
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := NewFromData(2, 2, []float64{1, 2, 3, 4})
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", y)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := NewDiagonallyDominant(6, 3)
+	p := m.Mul(Identity(6))
+	if !p.EqualApprox(m, 1e-14) {
+		t.Fatal("A·I != A")
+	}
+	p = Identity(6).Mul(m)
+	if !p.EqualApprox(m, 1e-14) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("transpose content wrong")
+	}
+	if !m.Transpose().Transpose().EqualApprox(m, 0) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestTransposeInvolutionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%7) + 2
+		if n < 0 {
+			n = -n
+		}
+		m := NewDiagonallyDominant(n, seed)
+		return m.Transpose().Transpose().EqualApprox(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecLinearityQuick(t *testing.T) {
+	// A(x+y) == Ax + Ay within roundoff.
+	f := func(seed int64) bool {
+		n := int(abs64(seed)%8) + 2
+		m := NewDiagonallyDominant(n, seed)
+		sysa := NewRandomSystem(n, seed+1)
+		sysb := NewRandomSystem(n, seed+2)
+		x, y := sysa.X, sysb.X
+		sum := make([]float64, n)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		lhs := m.MulVec(sum)
+		ax, ay := m.MulVec(x), m.MulVec(y)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(ax[i]+ay[i])) > 1e-9*(1+math.Abs(lhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == math.MinInt64 {
+			return math.MaxInt64
+		}
+		return -v
+	}
+	return v
+}
+
+func TestEqualApproxShapes(t *testing.T) {
+	if New(2, 3).EqualApprox(New(3, 2), 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestStringElision(t *testing.T) {
+	small := New(2, 2)
+	if small.String() == "" {
+		t.Fatal("small matrix should render")
+	}
+	big := New(20, 20)
+	if got := big.String(); got != "Dense{20×20}" {
+		t.Fatalf("big matrix render = %q", got)
+	}
+}

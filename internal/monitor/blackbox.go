@@ -1,0 +1,48 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// RunBlackBox executes workload under the monitoring framework without the
+// workload cooperating in any way — the black-box approach §4 requires the
+// framework to accommodate alongside the white-box one. Setup, the node
+// barriers, the PAPI start/stop and the report collection all happen
+// around the opaque function; the workload itself needs no modification.
+//
+// All ranks of world call RunBlackBox collectively. The reports (one per
+// node) are returned at world rank 0; everyone else gets nil.
+//
+// As with real MPI collectives, the error contract is collective too: a
+// workload that fails on some ranks but keeps communicating on others
+// leaves the job in an undefined state (the report gather cannot
+// complete). Workloads should fail on all ranks or none — mpi.World.Run
+// reports the failure either way.
+func RunBlackBox(p *mpi.Proc, world *mpi.Comm, workload func(p *mpi.Proc) error) ([]NodeReport, error) {
+	s, err := Setup(p, world)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.StartMonitoring(); err != nil {
+		return nil, err
+	}
+	workErr := workload(p)
+	// Even a failed workload must complete the framework's own collective
+	// protocol (stop barriers + report gather), or the surviving ranks
+	// would deadlock waiting for this one.
+	rep, stopErr := s.StopMonitoring()
+	var reports []NodeReport
+	var collectErr error
+	if stopErr == nil {
+		reports, collectErr = CollectReports(p, world, rep)
+	}
+	if workErr != nil {
+		return nil, fmt.Errorf("monitor: black-box workload: %w", workErr)
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	return reports, collectErr
+}

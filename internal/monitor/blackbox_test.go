@@ -1,0 +1,63 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestRunBlackBoxMeasuresOpaqueWorkload(t *testing.T) {
+	w := newClusterWorld(t)
+	var mu sync.Mutex
+	var reports []NodeReport
+	err := w.Run(func(p *mpi.Proc) error {
+		all, err := RunBlackBox(p, p.World(), func(p *mpi.Proc) error {
+			// An opaque workload: no monitoring hooks inside.
+			p.Compute(0.25, 5e5)
+			return p.Barrier(p.World())
+		})
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			reports = all
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d node reports, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if r.TotalJoules() <= 0 || r.ElapsedS < 0.25 {
+			t.Fatalf("node %d: %.3f J over %.3f s", r.Node, r.TotalJoules(), r.ElapsedS)
+		}
+	}
+}
+
+func TestRunBlackBoxPropagatesWorkloadError(t *testing.T) {
+	w := newClusterWorld(t)
+	err := w.Run(func(p *mpi.Proc) error {
+		_, err := RunBlackBox(p, p.World(), func(p *mpi.Proc) error {
+			// Every rank fails identically, so the collective protocol
+			// still completes and the error surfaces cleanly.
+			return errStr("workload exploded")
+		})
+		if err == nil {
+			return errStr("workload error swallowed")
+		}
+		if !strings.Contains(err.Error(), "workload exploded") {
+			return errStr("wrong error: " + err.Error())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

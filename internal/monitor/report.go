@@ -1,0 +1,148 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/papi"
+)
+
+// WriteNodeReport stores one processor's measurements in a human-readable
+// file under dir (the paper's file_management: "it creates one file for
+// each processor"). The file name embeds the node id.
+func WriteNodeReport(dir string, r *NodeReport) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("monitor: nil report")
+	}
+	path := filepath.Join(dir, fmt.Sprintf("node%04d_energy.txt", r.Node))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# PAPI powercap energy report\n")
+	fmt.Fprintf(w, "node: %d\n", r.Node)
+	fmt.Fprintf(w, "elapsed_s: %.9f\n", r.ElapsedS)
+	for i, name := range r.Events {
+		fmt.Fprintf(w, "%s_uJ: %d\n", name, r.Microjoule[i])
+	}
+	fmt.Fprintf(w, "total_J: %.6f\n", r.TotalJoules())
+	fmt.Fprintf(w, "avg_power_W: %.6f\n", r.AvgPowerW())
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// CollectReports gathers every node's report at world rank 0. All ranks
+// call it collectively; monitoring ranks pass their report, others nil.
+// Rank 0 returns the reports sorted by node id; everyone else nil.
+func CollectReports(p *mpi.Proc, world *mpi.Comm, r *NodeReport) ([]NodeReport, error) {
+	var payload []float64
+	if r != nil {
+		payload = make([]float64, 0, 2+len(r.Microjoule))
+		payload = append(payload, float64(r.Node), r.ElapsedS)
+		for _, v := range r.Microjoule {
+			payload = append(payload, float64(v))
+		}
+	}
+	parts, err := p.Gather(world, 0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if parts == nil {
+		return nil, nil
+	}
+	names := papi.DefaultEventNames()
+	var out []NodeReport
+	for rank, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if len(part) != 2+len(names) {
+			return nil, fmt.Errorf("monitor: rank %d sent %d report fields, want %d", rank, len(part), 2+len(names))
+		}
+		rep := NodeReport{
+			Node:       int(part[0]),
+			ElapsedS:   part[1],
+			Events:     names,
+			Microjoule: make([]int64, len(names)),
+		}
+		for i := range names {
+			rep.Microjoule[i] = int64(part[2+i])
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, nil
+}
+
+// RunSummary aggregates the per-node reports of one monitored execution.
+type RunSummary struct {
+	Nodes int
+	// DurationS is the longest monitored interval across nodes (the job's
+	// monitored makespan).
+	DurationS float64
+	// TotalJ is the summed package+DRAM energy of all nodes.
+	TotalJ float64
+	// ByEvent sums each powercap event across nodes, in joules.
+	ByEvent map[string]float64
+}
+
+// Summarize folds node reports into a run summary.
+func Summarize(reports []NodeReport) RunSummary {
+	s := RunSummary{ByEvent: make(map[string]float64)}
+	for _, r := range reports {
+		s.Nodes++
+		if r.ElapsedS > s.DurationS {
+			s.DurationS = r.ElapsedS
+		}
+		s.TotalJ += r.TotalJoules()
+		for i, name := range r.Events {
+			s.ByEvent[name] += float64(r.Microjoule[i]) / papi.MicrojoulesPerJoule
+		}
+	}
+	return s
+}
+
+// AvgPowerW is the run's average total power.
+func (s RunSummary) AvgPowerW() float64 {
+	if s.DurationS <= 0 {
+		return 0
+	}
+	return s.TotalJ / s.DurationS
+}
+
+// WriteRunSummary stores the aggregated run results in a human-readable
+// file under dir and returns its path.
+func WriteRunSummary(dir string, s RunSummary) (string, error) {
+	path := filepath.Join(dir, "run_summary.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# monitored run summary\n")
+	fmt.Fprintf(w, "nodes: %d\n", s.Nodes)
+	fmt.Fprintf(w, "duration_s: %.9f\n", s.DurationS)
+	fmt.Fprintf(w, "total_J: %.6f\n", s.TotalJ)
+	fmt.Fprintf(w, "avg_power_W: %.6f\n", s.AvgPowerW())
+	names := make([]string, 0, len(s.ByEvent))
+	for name := range s.ByEvent {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s_J: %.6f\n", name, s.ByEvent[name])
+	}
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,357 @@
+package mpi
+
+import "fmt"
+
+// Collective opcodes, encoded into reserved negative tags so collective
+// traffic can never collide with user point-to-point tags.
+const (
+	opBcast = iota + 1
+	opGather
+	opAllgather
+	opAllreduce
+	opSplit
+	opScatter
+	opReduce
+	opAlltoall
+)
+
+// ctag builds the reserved tag of one stage of one collective call.
+func ctag(seq, op, stage int) int { return -((seq<<8 | op<<4 | stage) + 1) }
+
+// Bcast broadcasts data from comm rank root over a binomial tree
+// (MPI_Bcast). Root passes the payload; everyone receives a copy of it as
+// the return value (including root). Exactly Size-1 messages of len(data)
+// elements are counted, matching the per-broadcast message accounting of
+// the paper's M_IMeP formula.
+func (p *Proc) Bcast(c *Comm, root int, data []float64) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range [0,%d)", root, c.Size())
+	}
+	seq := p.nextSeq(c)
+	return p.bcast(c, root, me, ctag(seq, opBcast, 0), data)
+}
+
+// bcast is the tag-explicit binomial broadcast used by Bcast and by the
+// composite collectives.
+func (p *Proc) bcast(c *Comm, root, me, tag int, data []float64) ([]float64, error) {
+	size := c.Size()
+	rel := (me - root + size) % size
+	// Receive phase: a non-root rank receives exactly once, from the
+	// member that differs in rel's lowest set bit; the root falls through
+	// with mask at the first power of two covering the communicator.
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % size
+			got, err := p.recv(c, src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to the subtrees below the bit we received on.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < size {
+			dst := (rel + mask + root) % size
+			if err := p.send(c, dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]float64, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Gather collects each member's payload at comm rank root (MPI_Gatherv
+// flavour: contributions may differ in length). The result, indexed by
+// comm rank, is returned at root; other ranks get nil.
+func (p *Proc) Gather(c *Comm, root int, data []float64) ([][]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: gather root %d out of range [0,%d)", root, c.Size())
+	}
+	seq := p.nextSeq(c)
+	return p.gather(c, root, me, ctag(seq, opGather, 0), data)
+}
+
+func (p *Proc) gather(c *Comm, root, me, tag int, data []float64) ([][]float64, error) {
+	if me != root {
+		return nil, p.send(c, root, tag, data)
+	}
+	out := make([][]float64, c.Size())
+	own := make([]float64, len(data))
+	copy(own, data)
+	out[me] = own
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		got, err := p.recv(c, src, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// Allgather gathers equal-length contributions from every member and
+// delivers the full, comm-rank-indexed set to all of them
+// (gather-to-0 followed by a tree broadcast of the concatenation).
+func (p *Proc) Allgather(c *Comm, data []float64) ([][]float64, error) {
+	if _, err := c.Rank(p); err != nil {
+		return nil, err
+	}
+	seq := p.nextSeq(c)
+	return p.allgather(c, seq, data)
+}
+
+func (p *Proc) allgather(c *Comm, seq int, data []float64) ([][]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	per := len(data)
+	parts, err := p.gather(c, 0, me, ctag(seq, opAllgather, 0), data)
+	if err != nil {
+		return nil, err
+	}
+	var flat []float64
+	if me == 0 {
+		flat = make([]float64, 0, per*c.Size())
+		for r, part := range parts {
+			if len(part) != per {
+				return nil, fmt.Errorf("mpi: allgather length mismatch: rank %d sent %d, want %d", r, len(part), per)
+			}
+			flat = append(flat, part...)
+		}
+	}
+	flat, err = p.bcast(c, 0, me, ctag(seq, opAllgather, 1), flat)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat) != per*c.Size() {
+		return nil, fmt.Errorf("mpi: allgather received %d elements, want %d", len(flat), per*c.Size())
+	}
+	out := make([][]float64, c.Size())
+	for r := range out {
+		out[r] = flat[r*per : (r+1)*per]
+	}
+	return out, nil
+}
+
+// AllreduceSum element-wise sums equal-length vectors across the
+// communicator and returns the total to every member.
+func (p *Proc) AllreduceSum(c *Comm, data []float64) ([]float64, error) {
+	return p.allreduce(c, data, func(acc, in []float64) error {
+		if len(in) != len(acc) {
+			return fmt.Errorf("mpi: allreduce length mismatch: %d vs %d", len(in), len(acc))
+		}
+		for i, v := range in {
+			acc[i] += v
+		}
+		return nil
+	})
+}
+
+// AllreduceMaxLoc implements MPI_MAXLOC over (value, index) pairs: every
+// member receives the maximum value and the lowest index attaining it —
+// the reduction ScaLAPACK's partial pivoting performs per column.
+func (p *Proc) AllreduceMaxLoc(c *Comm, value float64, index int) (float64, int, error) {
+	out, err := p.allreduce(c, []float64{value, float64(index)}, func(acc, in []float64) error {
+		if in[0] > acc[0] || (in[0] == acc[0] && in[1] < acc[1]) {
+			acc[0], acc[1] = in[0], in[1]
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return out[0], int(out[1]), nil
+}
+
+// Scatter distributes chunks[i] from comm rank root to comm rank i
+// (MPI_Scatterv flavour: chunks may differ in length). Non-root ranks pass
+// nil chunks; every rank receives its own chunk (root's by local copy).
+func (p *Proc) Scatter(c *Comm, root int, chunks [][]float64) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: scatter root %d out of range [0,%d)", root, c.Size())
+	}
+	seq := p.nextSeq(c)
+	tag := ctag(seq, opScatter, 0)
+	if me == root {
+		if len(chunks) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter got %d chunks for %d ranks", len(chunks), c.Size())
+		}
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst == root {
+				continue
+			}
+			if err := p.send(c, dst, tag, chunks[dst]); err != nil {
+				return nil, err
+			}
+		}
+		own := make([]float64, len(chunks[root]))
+		copy(own, chunks[root])
+		return own, nil
+	}
+	return p.recv(c, root, tag)
+}
+
+// ReduceSum element-wise sums equal-length vectors at comm rank root via a
+// binomial reduction tree (MPI_Reduce with MPI_SUM). Root receives the
+// total; everyone else gets nil.
+func (p *Proc) ReduceSum(c *Comm, root int, data []float64) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range [0,%d)", root, c.Size())
+	}
+	seq := p.nextSeq(c)
+	tag := ctag(seq, opReduce, 0)
+	size := c.Size()
+	rel := (me - root + size) % size
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % size
+			return nil, p.send(c, dst, tag, acc)
+		}
+		if rel+mask < size {
+			src := (rel + mask + root) % size
+			in, err := p.recv(c, src, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(in) != len(acc) {
+				return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(in), len(acc))
+			}
+			for i, v := range in {
+				acc[i] += v
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceMax element-wise maximises equal-length vectors across the
+// communicator.
+func (p *Proc) AllreduceMax(c *Comm, data []float64) ([]float64, error) {
+	return p.allreduce(c, data, func(acc, in []float64) error {
+		if len(in) != len(acc) {
+			return fmt.Errorf("mpi: allreduce length mismatch: %d vs %d", len(in), len(acc))
+		}
+		for i, v := range in {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+		return nil
+	})
+}
+
+// AllreduceMin element-wise minimises equal-length vectors across the
+// communicator.
+func (p *Proc) AllreduceMin(c *Comm, data []float64) ([]float64, error) {
+	return p.allreduce(c, data, func(acc, in []float64) error {
+		if len(in) != len(acc) {
+			return fmt.Errorf("mpi: allreduce length mismatch: %d vs %d", len(in), len(acc))
+		}
+		for i, v := range in {
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+		return nil
+	})
+}
+
+// Alltoall delivers chunks[d] of this rank to comm rank d and returns the
+// chunks addressed to this rank, indexed by sender (MPI_Alltoallv flavour:
+// chunk lengths may vary). Implemented pairwise with buffered sends.
+func (p *Proc) Alltoall(c *Comm, chunks [][]float64) ([][]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(chunks) != c.Size() {
+		return nil, fmt.Errorf("mpi: alltoall got %d chunks for %d ranks", len(chunks), c.Size())
+	}
+	seq := p.nextSeq(c)
+	tag := ctag(seq, opAlltoall, 0)
+	size := c.Size()
+	out := make([][]float64, size)
+	own := make([]float64, len(chunks[me]))
+	copy(own, chunks[me])
+	out[me] = own
+	// Send everything eagerly, then drain: buffered channels prevent
+	// deadlock and the pairwise order keeps streams matched.
+	for d := 0; d < size; d++ {
+		if d == me {
+			continue
+		}
+		if err := p.send(c, d, tag, chunks[d]); err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < size; s++ {
+		if s == me {
+			continue
+		}
+		got, err := p.recv(c, s, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = got
+	}
+	return out, nil
+}
+
+// allreduce runs a binomial reduction to comm rank 0 with the given
+// combiner, then broadcasts the result.
+func (p *Proc) allreduce(c *Comm, data []float64, combine func(acc, in []float64) error) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	seq := p.nextSeq(c)
+	size := c.Size()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for mask := 1; mask < size; mask <<= 1 {
+		if me&mask != 0 {
+			if err := p.send(c, me-mask, ctag(seq, opAllreduce, 0), acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if me+mask < size {
+			in, err := p.recv(c, me+mask, ctag(seq, opAllreduce, 0))
+			if err != nil {
+				return nil, err
+			}
+			if err := combine(acc, in); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.bcast(c, 0, me, ctag(seq, opAllreduce, 1), acc)
+}

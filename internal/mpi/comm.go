@@ -1,0 +1,183 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Comm is a communicator: an ordered group of world ranks. A single Comm
+// value is shared by all member goroutines (its barrier state synchronises
+// them); per-rank views are expressed by passing the Proc to operations.
+type Comm struct {
+	w     *World
+	id    int
+	ranks []int       // world ranks in comm-rank order
+	index map[int]int // world rank → comm rank
+	bar   commBarrier
+}
+
+func newWorldComm(w *World) *Comm {
+	ranks := make([]int, w.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return newComm(w, 0, ranks)
+}
+
+func newComm(w *World, id int, ranks []int) *Comm {
+	c := &Comm{w: w, id: id, ranks: ranks, index: make(map[int]int, len(ranks))}
+	for i, r := range ranks {
+		c.index[r] = i
+	}
+	return c
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns p's rank within c, or an error when p is not a member.
+func (c *Comm) Rank(p *Proc) (int, error) {
+	r, ok := c.index[p.rank]
+	if !ok {
+		return 0, fmt.Errorf("mpi: world rank %d is not in communicator %d", p.rank, c.id)
+	}
+	return r, nil
+}
+
+// WorldRanks returns the members in comm-rank order.
+func (c *Comm) WorldRanks() []int {
+	out := make([]int, len(c.ranks))
+	copy(out, c.ranks)
+	return out
+}
+
+// worldRank translates a comm rank to a world rank.
+func (c *Comm) worldRank(commRank int) (int, error) {
+	if commRank < 0 || commRank >= len(c.ranks) {
+		return 0, fmt.Errorf("mpi: comm rank %d out of range [0,%d)", commRank, len(c.ranks))
+	}
+	return c.ranks[commRank], nil
+}
+
+// commBarrier is a reusable generation barrier that also merges virtual
+// clocks: every participant leaves at max(arrival clocks) + barrier cost.
+type commBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	count    int
+	gen      uint64
+	maxClock float64
+	release  float64
+}
+
+// Barrier synchronises all members of c (MPI_Barrier). The released clock
+// is the same for every rank; waiting is charged as busy polling.
+func (p *Proc) Barrier(c *Comm) error {
+	if _, err := c.Rank(p); err != nil {
+		return err
+	}
+	b := &c.bar
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	if p.clock > b.maxClock {
+		b.maxClock = p.clock
+	}
+	b.count++
+	if b.count == len(c.ranks) {
+		b.release = b.maxClock + p.w.cost.BarrierTime(len(c.ranks))
+		b.count = 0
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		gen := b.gen
+		for b.gen == gen {
+			b.cond.Wait()
+		}
+	}
+	release := b.release
+	b.mu.Unlock()
+	p.waitUntil(release)
+	return nil
+}
+
+// splitKey identifies one split group so that exactly one Comm is created
+// per group and shared by its members.
+type splitKey struct {
+	parent int
+	seq    int
+	color  int
+}
+
+// commRegistry hands out shared Comm instances for splits: the first
+// member of a group to arrive creates the communicator, the rest share it.
+type commRegistry struct {
+	mu     sync.Mutex
+	nextID int
+	comms  map[splitKey]*Comm
+}
+
+func (w *World) sharedComm(key splitKey, ranks []int) *Comm {
+	reg := &w.comms
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.comms == nil {
+		reg.nextID = 1
+		reg.comms = make(map[splitKey]*Comm)
+	}
+	if c, ok := reg.comms[key]; ok {
+		return c
+	}
+	c := newComm(w, reg.nextID, ranks)
+	reg.nextID++
+	reg.comms[key] = c
+	return c
+}
+
+// CommSplit partitions c by color, ordering each new communicator by key
+// then by current rank (MPI_Comm_split). Ranks passing color < 0
+// (MPI_UNDEFINED) receive nil.
+func (p *Proc) CommSplit(c *Comm, color, key int) (*Comm, error) {
+	if _, err := c.Rank(p); err != nil {
+		return nil, err
+	}
+	seq := p.nextSeq(c)
+	// Exchange (color, key) pairs; the payload rides the normal collective
+	// machinery so its cost is accounted like real MPI_Comm_split traffic.
+	all, err := p.allgather(c, seq, []float64{float64(color), float64(key)})
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	type member struct{ key, commRank int }
+	var members []member
+	for r := 0; r < c.Size(); r++ {
+		if int(all[r][0]) == color {
+			members = append(members, member{key: int(all[r][1]), commRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].commRank < members[j].commRank
+	})
+	ranks := make([]int, len(members))
+	for i, m := range members {
+		ranks[i] = c.ranks[m.commRank]
+	}
+	return p.w.sharedComm(splitKey{parent: c.id, seq: seq, color: color}, ranks), nil
+}
+
+// CommSplitTypeShared groups the ranks that share a node, the analog of
+// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED) the paper's framework uses to
+// build its per-node communicators (§4).
+func (p *Proc) CommSplitTypeShared(c *Comm) (*Comm, error) {
+	node, _ := p.w.location(p.rank)
+	return p.CommSplit(c, node, 0)
+}

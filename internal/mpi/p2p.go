@@ -1,0 +1,95 @@
+package mpi
+
+import "fmt"
+
+// Send transmits data to rank dst of communicator c with a user tag
+// (tag ≥ 0; negative tags are reserved for collectives). The payload is
+// copied, preserving distributed-memory semantics. Send is buffered-eager:
+// it blocks only when the (src→dst) stream is mailboxDepth messages deep.
+func (p *Proc) Send(c *Comm, dst, tag int, data []float64) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: rank %d: user tag %d must be non-negative", p.rank, tag)
+	}
+	return p.send(c, dst, tag, data)
+}
+
+func (p *Proc) send(c *Comm, dst, tag int, data []float64) error {
+	wdst, err := c.worldRank(dst)
+	if err != nil {
+		return err
+	}
+	if wdst == p.rank {
+		return fmt.Errorf("mpi: rank %d: send to self is not supported; use local data", p.rank)
+	}
+	// The sender pays CPU overhead; the payload then flies for the wire
+	// time determined by locality.
+	sendStart := p.clock
+	p.advanceBusy(p.w.cost.SendOverhead, 0)
+	p.record("send", sendStart, p.clock)
+	bytes := float64(len(data)) * Float64Bytes
+	arrive := p.clock + p.w.cost.Wire(p.w.sameNode(p.rank, wdst), bytes)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	p.w.countTraffic(len(data))
+	p.w.mail[wdst][p.rank] <- message{tag: tag, data: cp, arriveAt: arrive}
+	return nil
+}
+
+// Recv receives the message with the given tag from rank src of
+// communicator c. As in MPI, messages from the same sender with the same
+// tag arrive in order, but messages with *different* tags may be consumed
+// out of stream order: non-matching messages are stashed until a matching
+// Recv claims them. This is what lets lookahead protocols (e.g. the
+// overlapped IMe) interleave early pivot sends with per-level traffic.
+func (p *Proc) Recv(c *Comm, src, tag int) ([]float64, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: rank %d: user tag %d must be non-negative", p.rank, tag)
+	}
+	return p.recv(c, src, tag)
+}
+
+// stashLimit bounds unexpected-message buffering per sender; exceeding it
+// means the program's send/recv tag sequences diverged for good.
+const stashLimit = 1 << 16
+
+func (p *Proc) recv(c *Comm, src, tag int) ([]float64, error) {
+	wsrc, err := c.worldRank(src)
+	if err != nil {
+		return nil, err
+	}
+	if wsrc == p.rank {
+		return nil, fmt.Errorf("mpi: rank %d: recv from self is not supported", p.rank)
+	}
+	// A previously stashed message with this tag matches first (it was
+	// sent earlier than anything still in the channel).
+	if stash := p.stash[wsrc]; len(stash) > 0 {
+		for i, msg := range stash {
+			if msg.tag == tag {
+				p.stash[wsrc] = append(stash[:i:i], stash[i+1:]...)
+				p.waitUntil(msg.arriveAt)
+				rs := p.clock
+				p.advanceBusy(p.w.cost.RecvOverhead, 0)
+				p.record("recv", rs, p.clock)
+				return msg.data, nil
+			}
+		}
+	}
+	for {
+		msg := <-p.w.mail[p.rank][wsrc]
+		if msg.tag == tag {
+			p.waitUntil(msg.arriveAt)
+			rs := p.clock
+			p.advanceBusy(p.w.cost.RecvOverhead, 0)
+			p.record("recv", rs, p.clock)
+			return msg.data, nil
+		}
+		if p.stash == nil {
+			p.stash = make(map[int][]message)
+		}
+		if len(p.stash[wsrc]) >= stashLimit {
+			return nil, fmt.Errorf("mpi: rank %d: %d unexpected messages from world rank %d while waiting for tag %d (first stashed tag %d)",
+				p.rank, stashLimit, wsrc, tag, p.stash[wsrc][0].tag)
+		}
+		p.stash[wsrc] = append(p.stash[wsrc], msg)
+	}
+}

@@ -1,0 +1,127 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/rapl"
+)
+
+// Proc is one rank's handle on the world. It is confined to the goroutine
+// Run started for that rank; none of its methods are safe for concurrent
+// use by other goroutines.
+type Proc struct {
+	w     *World
+	rank  int
+	clock float64
+	world *Comm
+	// seq numbers collective calls per communicator; MPI requires all
+	// members to issue collectives in the same order, which makes the
+	// local counters agree and serve as matching tags.
+	seq map[*Comm]int
+	// stash buffers messages received out of tag order, per sending
+	// world rank (MPI unexpected-message queue).
+	stash map[int][]message
+	// activity scales the dynamic core power charged while computing
+	// (1.0 = nominal). Solvers set it to their algorithm's activity factor
+	// so IMe's saturated streaming pipelines draw more power per busy
+	// second than ScaLAPACK's blocked kernels, as the paper measured.
+	activity float64
+}
+
+// Rank returns the world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.size }
+
+// World returns the world communicator (MPI_COMM_WORLD).
+func (p *Proc) World() *Comm { return p.world }
+
+// Clock returns the rank's current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Location returns the node and socket hosting this rank.
+func (p *Proc) Location() (node, socket int) { return p.w.location(p.rank) }
+
+// RaplNode returns the simulated RAPL interface of the node hosting this
+// rank — what the monitoring rank of each node reads energy from.
+func (p *Proc) RaplNode() *rapl.Node { return p.w.Node(p.rank) }
+
+// advanceBusy moves the virtual clock forward by dt seconds of busy CPU
+// time (compute, messaging overhead, or busy-wait — MPI implementations
+// poll), charging the node's package energy accordingly.
+func (p *Proc) advanceBusy(dt, bytes float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative time advance %g", p.rank, dt))
+	}
+	p.clock += dt
+	p.w.chargeNode(p.rank, dt, bytes, p.clock)
+}
+
+// waitUntil models busy-waiting until virtual time t (no-op if t has
+// passed). The waiting core polls, so the wait is charged as busy time —
+// this is why the paper's synchronization barriers cost energy, not just
+// wall time. The clock is assigned t exactly (not incremented by the
+// difference) so ranks leaving a barrier agree bit-for-bit.
+func (p *Proc) waitUntil(t float64) {
+	if t > p.clock {
+		start := p.clock
+		dt := t - p.clock
+		p.clock = t
+		p.w.chargeNode(p.rank, dt, 0, p.clock)
+		p.record("wait", start, t)
+	}
+}
+
+// SetActivity sets the dynamic-power activity factor applied to Compute
+// time (f ≤ 0 resets to nominal 1.0). Communication overheads and
+// busy-waits always charge at nominal activity.
+func (p *Proc) SetActivity(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	p.activity = f
+}
+
+// Compute advances the rank's clock by seconds of computation that moved
+// bytes of data through the memory hierarchy (charged to the socket's
+// DRAM domain). The busy core-seconds charged are scaled by the activity
+// factor set via SetActivity. A RAPL package power cap on the hosting
+// socket (rapl.Node.SetPowerLimit) stretches the compute time by the
+// frequency-scaling slowdown, exactly as PL1 throttling does.
+func (p *Proc) Compute(seconds, bytes float64) {
+	if seconds < 0 || bytes < 0 {
+		panic(fmt.Sprintf("mpi: rank %d: negative compute cost (%g s, %g B)", p.rank, seconds, bytes))
+	}
+	act := p.activity
+	if act == 0 {
+		act = 1
+	}
+	node, socket := p.w.location(p.rank)
+	if slow := p.w.capSlowdown(node, socket); slow > 1 {
+		seconds *= slow
+	}
+	start := p.clock
+	p.clock += seconds
+	p.w.chargeNode(p.rank, seconds*act, bytes, p.clock)
+	p.record("compute", start, p.clock)
+}
+
+// ComputeFlops charges flops of work executed at rate flops/second moving
+// bytes through memory.
+func (p *Proc) ComputeFlops(flops, rate, bytes float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("mpi: rank %d: non-positive flop rate %g", p.rank, rate))
+	}
+	p.Compute(flops/rate, bytes)
+}
+
+// nextSeq returns the sequence number of the next collective on c.
+func (p *Proc) nextSeq(c *Comm) int {
+	if p.seq == nil {
+		p.seq = make(map[*Comm]int)
+	}
+	s := p.seq[c]
+	p.seq[c] = s + 1
+	return s
+}

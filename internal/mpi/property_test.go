@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the runtime's core invariants.
+
+// TestCollectiveSequenceProperty runs a random sequence of collectives on
+// a random-size world and checks every result against a local golden
+// computation plus clock monotonicity.
+func TestCollectiveSequenceProperty(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		seed := uint64(seedRaw)
+		next := func() uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return seed >> 33
+		}
+		size := int(next()%6) + 2
+		nOps := int(next()%8) + 2
+		type op struct {
+			kind int
+			root int
+			val  float64
+		}
+		ops := make([]op, nOps)
+		for i := range ops {
+			ops[i] = op{
+				kind: int(next() % 4),
+				root: int(next()) % size,
+				val:  float64(next()%1000) / 10,
+			}
+		}
+		w, err := NewWorld(size, Options{})
+		if err != nil {
+			return false
+		}
+		err = w.Run(func(p *Proc) error {
+			prevClock := p.Clock()
+			for i, o := range ops {
+				switch o.kind {
+				case 0: // bcast from root
+					var in []float64
+					me, _ := p.World().Rank(p)
+					if me == o.root {
+						in = []float64{o.val}
+					}
+					got, err := p.Bcast(p.World(), o.root, in)
+					if err != nil {
+						return err
+					}
+					if got[0] != o.val {
+						return fmt.Errorf("op %d: bcast %v, want %v", i, got, o.val)
+					}
+				case 1: // allreduce sum of ranks
+					got, err := p.AllreduceSum(p.World(), []float64{float64(p.Rank())})
+					if err != nil {
+						return err
+					}
+					if got[0] != float64(size*(size-1)/2) {
+						return fmt.Errorf("op %d: sum %v", i, got)
+					}
+				case 2: // barrier
+					if err := p.Barrier(p.World()); err != nil {
+						return err
+					}
+				case 3: // allgather of own rank
+					all, err := p.Allgather(p.World(), []float64{float64(p.Rank())})
+					if err != nil {
+						return err
+					}
+					for r := 0; r < size; r++ {
+						if all[r][0] != float64(r) {
+							return fmt.Errorf("op %d: allgather %v", i, all)
+						}
+					}
+				}
+				if p.Clock() < prevClock {
+					return fmt.Errorf("op %d: clock went backwards", i)
+				}
+				prevClock = p.Clock()
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrafficConservationProperty checks that the world's counted volume
+// equals the sum of payload elements over all sends, for random rings.
+func TestTrafficConservationProperty(t *testing.T) {
+	f := func(sizeRaw, lenRaw uint8) bool {
+		size := int(sizeRaw%6) + 2
+		payload := int(lenRaw%50) + 1
+		w, err := NewWorld(size, Options{})
+		if err != nil {
+			return false
+		}
+		err = w.Run(func(p *Proc) error {
+			// Ring: send to the next rank, receive from the previous.
+			c := p.World()
+			next := (p.Rank() + 1) % size
+			prev := (p.Rank() - 1 + size) % size
+			if err := p.Send(c, next, 1, make([]float64, payload)); err != nil {
+				return err
+			}
+			_, err := p.Recv(c, prev, 1)
+			return err
+		})
+		if err != nil {
+			return false
+		}
+		msgs, vol := w.Traffic()
+		return msgs == int64(size) && vol == int64(size*payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierClockAgreementProperty: after a barrier, every member's clock
+// is identical regardless of prior skew.
+func TestBarrierClockAgreementProperty(t *testing.T) {
+	f := func(sizeRaw uint8, skewRaw uint16) bool {
+		size := int(sizeRaw%7) + 2
+		w, err := NewWorld(size, Options{})
+		if err != nil {
+			return false
+		}
+		clocks := make([]float64, size)
+		err = w.Run(func(p *Proc) error {
+			p.Compute(float64((p.Rank()*int(skewRaw))%97)/1000, 0)
+			if err := p.Barrier(p.World()); err != nil {
+				return err
+			}
+			clocks[p.Rank()] = p.Clock()
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for r := 1; r < size; r++ {
+			if clocks[r] != clocks[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

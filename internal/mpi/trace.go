@@ -1,0 +1,93 @@
+package mpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one recorded interval of a rank's virtual timeline.
+type Span struct {
+	Rank  int
+	Kind  string // "compute", "wait", "send", "recv"
+	Start float64
+	End   float64
+}
+
+// tracer collects spans when tracing is enabled.
+type tracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+func (tr *tracer) add(s Span) {
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+}
+
+// EnableTracing switches on span recording for all subsequent operations.
+// Call before Run.
+func (w *World) EnableTracing() {
+	w.trace = &tracer{}
+}
+
+// Spans returns the recorded spans sorted by (rank, start). Empty without
+// EnableTracing.
+func (w *World) Spans() []Span {
+	if w.trace == nil {
+		return nil
+	}
+	w.trace.mu.Lock()
+	out := make([]Span, len(w.trace.spans))
+	copy(out, w.trace.spans)
+	w.trace.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// record captures one span if tracing is on.
+func (p *Proc) record(kind string, start, end float64) {
+	if p.w.trace == nil || end <= start {
+		return
+	}
+	p.w.trace.add(Span{Rank: p.rank, Kind: kind, Start: start, End: end})
+}
+
+// WriteChromeTrace emits the recorded spans as a Chrome trace-event JSON
+// array (load it in chrome://tracing or Perfetto): one complete event per
+// span, one row per rank, timestamps in microseconds of virtual time.
+func (w *World) WriteChromeTrace(out io.Writer) error {
+	type event struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	}
+	spans := w.Spans()
+	if spans == nil {
+		return fmt.Errorf("mpi: tracing was not enabled")
+	}
+	events := make([]event, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, event{
+			Name: s.Kind,
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			Pid:  0,
+			Tid:  s.Rank,
+		})
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(events)
+}

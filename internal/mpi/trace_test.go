@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracingRecordsSpans(t *testing.T) {
+	w := newTestWorld(t, 2)
+	w.EnableTracing()
+	err := w.Run(func(p *Proc) error {
+		c := p.World()
+		p.Compute(0.5, 0)
+		if p.Rank() == 0 {
+			return p.Send(c, 1, 0, []float64{1, 2, 3})
+		}
+		_, err := p.Recv(c, 0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := w.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	kinds := map[string]int{}
+	makespan := w.MaxClock()
+	for _, s := range spans {
+		kinds[s.Kind]++
+		if s.Start < 0 || s.End > makespan+1e-12 || s.End <= s.Start {
+			t.Fatalf("span %+v outside [0, %g]", s, makespan)
+		}
+		if s.Rank < 0 || s.Rank > 1 {
+			t.Fatalf("span rank %d", s.Rank)
+		}
+	}
+	for _, want := range []string{"compute", "send", "recv"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q spans recorded (%v)", want, kinds)
+		}
+	}
+	// Rank 1 received after rank 0's 0.5 s compute while it had long
+	// finished its own — must show a wait span.
+	if kinds["wait"] != 0 {
+		// Both ranks compute 0.5 s, so arrival ≈ receive time; a wait span
+		// may or may not appear. Either is fine — only ordering matters.
+		_ = kinds
+	}
+	// Spans sorted by (rank, start).
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Start > b.Start) {
+			t.Fatal("spans not sorted")
+		}
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	w := newTestWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		p.Compute(0.1, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Spans() != nil {
+		t.Fatal("spans recorded without EnableTracing")
+	}
+	var buf bytes.Buffer
+	if err := w.WriteChromeTrace(&buf); err == nil {
+		t.Fatal("chrome trace without tracing accepted")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	w := newTestWorld(t, 3)
+	w.EnableTracing()
+	err := w.Run(func(p *Proc) error {
+		p.Compute(0.01*float64(p.Rank()+1), 0)
+		return p.Barrier(p.World())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, e := range events {
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package mpi simulates the Message Passing Interface runtime the paper's
+// software runs on: a fixed-size world of ranks (goroutines), point-to-point
+// messaging, binomial-tree collectives, barriers, and the communicator
+// machinery — in particular MPI_Comm_split_type(MPI_COMM_TYPE_SHARED),
+// which the monitoring framework uses to group the ranks of each node.
+//
+// Beyond functional semantics the runtime maintains:
+//
+//   - a deterministic per-rank *virtual clock* advanced by compute and
+//     communication costs (CostModel), so durations are reproducible and
+//     can represent cluster-scale executions;
+//   - per-world traffic accounting (message count and float64 volume),
+//     used to validate the paper's M_IMeP / V_IMeP closed forms;
+//   - energy accounting: rank activity is charged to the simulated RAPL
+//     node hosting the rank (internal/rapl), which the PAPI layer reads.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/power"
+	"repro/internal/rapl"
+)
+
+// Options configures a World.
+type Options struct {
+	// Config places ranks on nodes/sockets. When nil, all ranks share one
+	// synthetic node on socket 0 (convenient for algorithm-only tests).
+	Config *cluster.Config
+	// Cost is the communication cost model; zero value means defaults.
+	Cost CostModel
+	// Calibration is the node power model; zero value means Skylake8160.
+	Calibration power.Calibration
+}
+
+// World is one simulated MPI job.
+type World struct {
+	size  int
+	cost  CostModel
+	cfg   *cluster.Config
+	nodes []*rapl.Node
+	// nodeMu serialises accounting into each shared rapl.Node, including
+	// its monotone clock.
+	nodeMu []sync.Mutex
+	// mail[dst][src] carries messages for the (src → dst) ordered stream.
+	mail [][]chan message
+
+	trafficMu sync.Mutex
+	messages  int64
+	volume    int64 // float64 elements
+
+	comms commRegistry
+
+	// trace records per-rank spans when EnableTracing was called.
+	trace *tracer
+}
+
+type message struct {
+	tag      int
+	data     []float64
+	arriveAt float64 // virtual time the payload lands at the receiver
+}
+
+// mailboxDepth bounds eager buffering per rank pair; senders block beyond
+// it (standard buffered-send backpressure). Kept small because every world
+// preallocates size² mailboxes.
+const mailboxDepth = 64
+
+// NewWorld builds a world of size ranks.
+func NewWorld(size int, opts Options) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d must be positive", size)
+	}
+	cost := opts.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	cal := opts.Calibration
+	if cal == (power.Calibration{}) {
+		cal = power.Skylake8160()
+	}
+	if opts.Config != nil && opts.Config.Ranks != size {
+		return nil, fmt.Errorf("mpi: config has %d ranks, world has %d", opts.Config.Ranks, size)
+	}
+	w := &World{size: size, cost: cost, cfg: opts.Config}
+	nNodes := 1
+	if w.cfg != nil {
+		nNodes = w.cfg.Nodes
+	}
+	w.nodes = make([]*rapl.Node, nNodes)
+	w.nodeMu = make([]sync.Mutex, nNodes)
+	for i := range w.nodes {
+		n, err := rapl.NewNode(i, cal)
+		if err != nil {
+			return nil, err
+		}
+		w.nodes[i] = n
+	}
+	w.mail = make([][]chan message, size)
+	for d := range w.mail {
+		w.mail[d] = make([]chan message, size)
+		for s := range w.mail[d] {
+			w.mail[d][s] = make(chan message, mailboxDepth)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the world size.
+func (w *World) Size() int { return w.size }
+
+// Nodes exposes the simulated RAPL nodes (one per cluster node) for the
+// monitoring layer and for post-run energy inspection.
+func (w *World) Nodes() []*rapl.Node { return w.nodes }
+
+// Node returns the RAPL node hosting a world rank.
+func (w *World) Node(rank int) *rapl.Node { return w.nodes[w.nodeOf(rank)] }
+
+// location maps a world rank to (node, socket).
+func (w *World) location(rank int) (node, socket int) {
+	if w.cfg == nil {
+		return 0, 0
+	}
+	loc, err := w.cfg.RankLocation(rank)
+	if err != nil {
+		// Rank validity is enforced at world construction; reaching this
+		// indicates internal corruption.
+		panic(err)
+	}
+	return loc.Node, loc.Socket
+}
+
+func (w *World) nodeOf(rank int) int {
+	n, _ := w.location(rank)
+	return n
+}
+
+// sameNode reports whether two world ranks share a node.
+func (w *World) sameNode(a, b int) bool { return w.nodeOf(a) == w.nodeOf(b) }
+
+// countTraffic records one message of n float64 elements.
+func (w *World) countTraffic(elements int) {
+	w.trafficMu.Lock()
+	w.messages++
+	w.volume += int64(elements)
+	w.trafficMu.Unlock()
+}
+
+// Traffic returns the total messages and float64 volume exchanged so far.
+func (w *World) Traffic() (messages, volume int64) {
+	w.trafficMu.Lock()
+	defer w.trafficMu.Unlock()
+	return w.messages, w.volume
+}
+
+// ResetTraffic zeroes the traffic counters (used to separate phases).
+func (w *World) ResetTraffic() {
+	w.trafficMu.Lock()
+	w.messages, w.volume = 0, 0
+	w.trafficMu.Unlock()
+}
+
+// capSlowdown returns the compute-time stretch a socket's power cap
+// imposes, given the placement's active-core count on that socket.
+func (w *World) capSlowdown(node, socket int) float64 {
+	cores := 1
+	if w.cfg != nil {
+		cores = w.cfg.ActiveCores(socket)
+	}
+	w.nodeMu[node].Lock()
+	defer w.nodeMu[node].Unlock()
+	return w.nodes[node].SlowdownUnderCap(socket, cores)
+}
+
+// chargeNode accounts busy core-seconds and memory traffic for a rank and
+// advances its node's RAPL clock to the rank's virtual time.
+func (w *World) chargeNode(rank int, busySeconds, bytes, clock float64) {
+	node, socket := w.location(rank)
+	w.nodeMu[node].Lock()
+	defer w.nodeMu[node].Unlock()
+	n := w.nodes[node]
+	if busySeconds > 0 {
+		if err := n.AccountBusy(socket, busySeconds); err != nil {
+			panic(err) // inputs validated by callers; a failure is a bug
+		}
+	}
+	if bytes > 0 {
+		if err := n.AccountBytes(socket, bytes); err != nil {
+			panic(err)
+		}
+	}
+	if clock > n.Now() {
+		if err := n.SetTime(clock); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Run executes body once per rank, concurrently, and blocks until every
+// rank returns. The first error wins; remaining errors are discarded.
+// A panicking rank is converted into an error naming the rank, so a bug in
+// one rank fails the job instead of crashing the test binary.
+func (w *World) Run(body func(p *Proc) error) error {
+	world := newWorldComm(w)
+	errs := make(chan error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			p := &Proc{w: w, rank: rank, world: world}
+			if err := body(p); err != nil {
+				errs <- fmt.Errorf("mpi: rank %d: %w", rank, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs // nil when the channel is empty
+}
+
+// MaxClock returns the largest virtual time any node observed — the job's
+// makespan.
+func (w *World) MaxClock() float64 {
+	var mx float64
+	for i := range w.nodes {
+		w.nodeMu[i].Lock()
+		if t := w.nodes[i].Now(); t > mx {
+			mx = t
+		}
+		w.nodeMu[i].Unlock()
+	}
+	return mx
+}

@@ -1,0 +1,156 @@
+package papi
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The PAPI High Level-API (§2.3: it "defines only a fraction of functions
+// compared to the PAPI Low Level-API ... but these functions are enough to
+// extract performance data using pre-sets events"). Regions wrap code
+// sections; each region accumulates the default powercap events between
+// its begin and end markers, possibly over multiple entries.
+
+// RegionStats is the accumulated measurement of one named region.
+type RegionStats struct {
+	Name   string
+	Count  int
+	Events []string
+	// Microjoule accumulates per event across all entries of the region.
+	Microjoule []int64
+	// Seconds accumulates the virtual time spent inside the region.
+	Seconds float64
+}
+
+// TotalJoules sums the region's events.
+func (r *RegionStats) TotalJoules() float64 {
+	var uj int64
+	for _, v := range r.Microjoule {
+		uj += v
+	}
+	return float64(uj) / MicrojoulesPerJoule
+}
+
+// hlState is the lazily initialised high-level machinery of a Library.
+type hlState struct {
+	es      *EventSet
+	open    map[string]hlOpen
+	regions map[string]*RegionStats
+}
+
+type hlOpen struct {
+	values []int64
+	at     float64
+}
+
+// HLRegionBegin opens (or re-enters) a named region
+// (PAPI_hl_region_begin). The first call initialises the high-level event
+// set with the default powercap events.
+func (l *Library) HLRegionBegin(name string) error {
+	if l == nil {
+		return ErrNotInitialized
+	}
+	if name == "" {
+		return fmt.Errorf("papi: empty region name")
+	}
+	if l.hl == nil {
+		es, err := l.CreateEventSet()
+		if err != nil {
+			return err
+		}
+		if err := es.AddNamedEvents(DefaultEventNames()); err != nil {
+			return err
+		}
+		if err := es.Start(); err != nil {
+			return err
+		}
+		l.hl = &hlState{
+			es:      es,
+			open:    make(map[string]hlOpen),
+			regions: make(map[string]*RegionStats),
+		}
+	}
+	if _, dup := l.hl.open[name]; dup {
+		return fmt.Errorf("papi: region %q already open", name)
+	}
+	values, err := l.hl.es.Read()
+	if err != nil {
+		return err
+	}
+	l.hl.open[name] = hlOpen{values: values, at: l.node.Now()}
+	return nil
+}
+
+// HLRegionEnd closes a named region (PAPI_hl_region_end), folding the
+// measured deltas into its statistics.
+func (l *Library) HLRegionEnd(name string) error {
+	if l == nil || l.hl == nil {
+		return fmt.Errorf("papi: no region open (PAPI_ENOTRUN)")
+	}
+	begin, ok := l.hl.open[name]
+	if !ok {
+		return fmt.Errorf("papi: region %q is not open", name)
+	}
+	delete(l.hl.open, name)
+	values, err := l.hl.es.Read()
+	if err != nil {
+		return err
+	}
+	r := l.hl.regions[name]
+	if r == nil {
+		r = &RegionStats{
+			Name:       name,
+			Events:     DefaultEventNames(),
+			Microjoule: make([]int64, len(values)),
+		}
+		l.hl.regions[name] = r
+	}
+	r.Count++
+	for i := range values {
+		r.Microjoule[i] += values[i] - begin.values[i]
+	}
+	r.Seconds += l.node.Now() - begin.at
+	return nil
+}
+
+// HLWriteOutput stores the region report in a human-readable file under
+// dir, the analog of real PAPI's papi_hl_output directory. Returns the
+// file path.
+func (l *Library) HLWriteOutput(dir string) (string, error) {
+	if l == nil || l.hl == nil {
+		return "", fmt.Errorf("papi: no high-level regions recorded")
+	}
+	path := dir + "/papi_hl_output.txt"
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# PAPI high-level region report\n")
+	for _, r := range l.HLReport() {
+		fmt.Fprintf(f, "region: %s\n  entries: %d\n  seconds: %.9f\n", r.Name, r.Count, r.Seconds)
+		for i, name := range r.Events {
+			fmt.Fprintf(f, "  %s_uJ: %d\n", name, r.Microjoule[i])
+		}
+	}
+	return path, f.Close()
+}
+
+// HLReport returns the accumulated regions sorted by name
+// (the analog of PAPI_hl_print_output's papi_hl_output files).
+func (l *Library) HLReport() []RegionStats {
+	if l == nil || l.hl == nil {
+		return nil
+	}
+	names := make([]string, 0, len(l.hl.regions))
+	for name := range l.hl.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]RegionStats, 0, len(names))
+	for _, name := range names {
+		out = append(out, *l.hl.regions[name])
+	}
+	return out
+}

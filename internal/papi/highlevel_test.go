@@ -1,0 +1,152 @@
+package papi
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestHLRegions(t *testing.T) {
+	lib, node := newLib(t)
+	if err := lib.HLRegionBegin("allocation"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.AccountBusy(0, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetTime(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionEnd("allocation"); err != nil {
+		t.Fatal(err)
+	}
+	// Two entries of a second region.
+	for i := 0; i < 2; i++ {
+		if err := lib.HLRegionBegin("solve"); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.AccountBusy(0, 48); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.SetTime(float64(2 + i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.HLRegionEnd("solve"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := lib.HLReport()
+	if len(report) != 2 {
+		t.Fatalf("%d regions, want 2", len(report))
+	}
+	if report[0].Name != "allocation" || report[1].Name != "solve" {
+		t.Fatalf("region order %q %q", report[0].Name, report[1].Name)
+	}
+	alloc, solve := report[0], report[1]
+	if alloc.Count != 1 || solve.Count != 2 {
+		t.Fatalf("counts %d/%d, want 1/2", alloc.Count, solve.Count)
+	}
+	if alloc.TotalJoules() <= 0 || solve.TotalJoules() <= 0 {
+		t.Fatal("regions measured no energy")
+	}
+	if solve.TotalJoules() <= alloc.TotalJoules() {
+		t.Fatal("the busier region should consume more energy")
+	}
+	if solve.Seconds <= alloc.Seconds {
+		t.Fatalf("solve %gs should exceed allocation %gs", solve.Seconds, alloc.Seconds)
+	}
+}
+
+func TestHLRegionMisuse(t *testing.T) {
+	lib, _ := newLib(t)
+	if err := lib.HLRegionEnd("nope"); err == nil {
+		t.Fatal("end before any begin accepted")
+	}
+	if err := lib.HLRegionBegin(""); err == nil {
+		t.Fatal("empty region name accepted")
+	}
+	if err := lib.HLRegionBegin("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionBegin("r"); err == nil {
+		t.Fatal("double begin accepted")
+	}
+	if err := lib.HLRegionEnd("other"); err == nil {
+		t.Fatal("ending a region that is not open accepted")
+	}
+	if err := lib.HLRegionEnd("r"); err != nil {
+		t.Fatal(err)
+	}
+	var nilLib *Library
+	if err := nilLib.HLRegionBegin("x"); err == nil {
+		t.Fatal("nil library accepted")
+	}
+	if nilLib.HLReport() != nil {
+		t.Fatal("nil library report should be nil")
+	}
+}
+
+func TestHLWriteOutput(t *testing.T) {
+	lib, node := newLib(t)
+	if _, err := lib.HLWriteOutput(t.TempDir()); err == nil {
+		t.Fatal("output before any region accepted")
+	}
+	if err := lib.HLRegionBegin("solve"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetTime(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionEnd("solve"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := lib.HLWriteOutput(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"region: solve", "entries: 1", "seconds: 1.0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHLNestedRegions(t *testing.T) {
+	lib, node := newLib(t)
+	if err := lib.HLRegionBegin("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionBegin("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetTime(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionEnd("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetTime(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.HLRegionEnd("outer"); err != nil {
+		t.Fatal(err)
+	}
+	rep := lib.HLReport()
+	var outer, inner RegionStats
+	for _, r := range rep {
+		if r.Name == "outer" {
+			outer = r
+		} else {
+			inner = r
+		}
+	}
+	if outer.Seconds <= inner.Seconds {
+		t.Fatalf("outer %gs must cover inner %gs", outer.Seconds, inner.Seconds)
+	}
+}

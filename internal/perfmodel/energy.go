@@ -1,0 +1,67 @@
+package perfmodel
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/ime"
+	"repro/internal/rapl"
+	"repro/internal/scalapack"
+)
+
+// energyFor integrates the power model over a modelled run. Every rank is
+// busy for the whole duration (computing at the algorithm's activity
+// factor, busy-polling MPI at nominal otherwise), so a socket's busy
+// core-seconds follow directly from the placement's active-core counts.
+// DRAM traffic is the algorithm's bytes-per-flop times the flops executed
+// on the socket. A power cap clamps package power at max(cap, idle) — the
+// cap stretched the duration via capStretch, so clamped power × longer
+// time is how capping trades time for power.
+func energyFor(alg Algorithm, n int, cfg cluster.Config, prm Params, duration, computeS float64, capStretch float64) map[rapl.Domain]float64 {
+	cal := prm.Calibration
+	var activity, bytesPerFlop, totalFlops float64
+	switch alg {
+	case IMe:
+		activity = ime.CoreActivity
+		bytesPerFlop = ime.DramBytesPerFlop
+		totalFlops = ime.TotalFlops(n)
+	default:
+		activity = scalapack.CoreActivity
+		bytesPerFlop = scalapack.DramBytesPerFlop
+		totalFlops = scalapack.TotalFlops(n)
+	}
+	if computeS > duration {
+		computeS = duration
+	}
+	flopsPerRank := totalFlops / float64(cfg.Ranks)
+	pollS := duration - computeS
+
+	out := make(map[rapl.Domain]float64, 4)
+	pkgDomains := [2]rapl.Domain{rapl.PKG0, rapl.PKG1}
+	dramDomains := [2]rapl.Domain{rapl.DRAM0, rapl.DRAM1}
+	coresPerSocket := 24
+	if cfg.Spec != nil {
+		coresPerSocket = cfg.Spec.CoresPerSocket
+	}
+	for s := 0; s < 2; s++ {
+		cores := cfg.ActiveCores(s)
+		busy := float64(cores) * (computeS*activity + pollS)
+		pkgJ := cal.PkgEnergy(duration, busy, s) +
+			cal.UncorePower(cores, coresPerSocket)*duration
+		if prm.PowerCapW > 0 {
+			floor := cal.PkgPower(0, s)
+			lim := prm.PowerCapW
+			if lim < floor {
+				lim = floor
+			}
+			if capped := lim * duration; capped < pkgJ {
+				pkgJ = capped
+			}
+		}
+		// DRAM: traffic of the ranks pinned to this socket. The idle
+		// socket still refreshes its DIMMs (idle DRAM power applies).
+		bytes := flopsPerRank * float64(cores) * bytesPerFlop
+		dramJ := cal.DramEnergy(duration, bytes)
+		out[pkgDomains[s]] += pkgJ * float64(cfg.Nodes)
+		out[dramDomains[s]] += dramJ * float64(cfg.Nodes)
+	}
+	return out
+}

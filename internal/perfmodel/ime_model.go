@@ -1,0 +1,83 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/ime"
+	"repro/internal/mpi"
+)
+
+// bcastTime models a binomial-tree broadcast over p ranks. The executable
+// engine forwards whole payloads hop by hop (store-and-forward), which the
+// non-overlap model mirrors for cross-checking; production MPI pipelines
+// large payloads, which the paper-scale (Overlap) model uses.
+func bcastTime(cost mpi.CostModel, p int, bytes float64, intra, pipelined bool) float64 {
+	d := float64(mpi.TreeDepth(p))
+	perHopCPU := cost.SendOverhead + cost.RecvOverhead
+	if pipelined {
+		return d*(perHopCPU+cost.Wire(intra, 0)) + bytes/bandwidth(cost, intra)
+	}
+	return d * (perHopCPU + cost.Wire(intra, bytes))
+}
+
+func bandwidth(cost mpi.CostModel, intra bool) float64 {
+	if intra {
+		return cost.BandwidthIntra
+	}
+	return cost.BandwidthInter
+}
+
+// allreduceTime models reduce-to-root plus broadcast (the executable
+// engine's allreduce) for a small payload.
+func allreduceTime(cost mpi.CostModel, p int, bytes float64, intra bool) float64 {
+	return 2 * bcastTime(cost, p, bytes, intra, false)
+}
+
+// gatherTime models the flat gather to the master used by IMeP's last-row
+// collection: slave sends overlap in flight, but the master pays a receive
+// overhead per message plus the wire time of the aggregate payload.
+func gatherTime(cost mpi.CostModel, p int, totalBytes float64, intra bool) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1)*(cost.SendOverhead+cost.RecvOverhead) +
+		cost.Wire(intra, 0) + totalBytes/bandwidth(cost, intra)
+}
+
+// imeTime replays the IMeP schedule analytically. Per level l = n…1 the
+// executable solver performs an h broadcast, a pivot-row broadcast, the
+// fundamental-formula update on the widest block, and a flat gather of the
+// modified last-row entries — see ime.SolveParallel. With Overlap, only
+// the pivot-row broadcast stays on the critical path (pipelined against
+// the update); h and the gather are consumed by no rank's compute.
+func imeTime(n, ranks int, prm Params, intra bool, capStretch float64) (timeBreakdown, error) {
+	if ranks > n {
+		return timeBreakdown{}, fmt.Errorf("perfmodel: %d ranks exceed order %d", ranks, n)
+	}
+	cost := prm.Cost
+	lo, hi := ime.BlockRange(n, ranks, 0)
+	maxRows := hi - lo
+	masterBytes := float64(n-maxRows) * mpi.Float64Bytes
+
+	var t timeBreakdown
+	// Init: h and initial-column broadcasts.
+	t.exposedComm += 2 * bcastTime(cost, ranks, float64(n)*mpi.Float64Bytes, intra, prm.Overlap)
+	for l := n; l >= 1; l-- {
+		comp := ime.LevelFlops(n, l) * float64(maxRows) / float64(n) / ime.EffFlopsPerCore * capStretch
+		t.compute += comp
+		pivotB := bcastTime(cost, ranks, float64(l+1)*mpi.Float64Bytes, intra, prm.Overlap)
+		if prm.Overlap {
+			// Pipelined pivot broadcast: exposed only beyond the update.
+			if pivotB > comp {
+				t.exposedComm += pivotB - comp
+			}
+			continue
+		}
+		hB := bcastTime(cost, ranks, float64(n)*mpi.Float64Bytes, intra, false)
+		g := gatherTime(cost, ranks, masterBytes, intra)
+		t.exposedComm += hB + pivotB + g
+	}
+	// Final solution broadcast.
+	t.exposedComm += bcastTime(cost, ranks, float64(n)*mpi.Float64Bytes, intra, prm.Overlap)
+	return t, nil
+}

@@ -1,0 +1,155 @@
+// Package report renders experiment results as aligned text tables and
+// CSV — the human-readable output the paper's testing framework stores
+// for later review.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row, stringifying each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders measurements compactly: big numbers without noise,
+// small ones with enough precision.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown writes the table as a GitHub-flavoured Markdown table, with
+// the title as a heading — the format EXPERIMENTS.md embeds.
+func (t *Table) Markdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	row := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | "))
+		return err
+	}
+	if err := row(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if err := row(seps); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as RFC-4180 CSV (headers first).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		if err := cw.Write([]string{"# " + t.Title}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	t.Add("alpha", 1234.5678)
+	t.Add("b", 0.001234)
+	t.Add("mid", 42.42)
+	t.Add("zero", 0.0)
+	t.Add("int", 7)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	if len(lines) != 3+5 {
+		t.Fatalf("%d lines, want 8:\n%s", len(lines), out)
+	}
+	// Column alignment: every data line's second column starts at the
+	// same offset.
+	idx := strings.Index(lines[3], "1235")
+	if idx < 0 {
+		t.Fatalf("big float misformatted: %q", lines[3])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		1234.567: "1235",
+		42.42:    "42.4",
+		0.5:      "0.500",
+		0.001234: "0.00123",
+		-2000:    "-2000",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "# demo" {
+		t.Fatalf("csv comment = %q", lines[0])
+	}
+	if lines[1] != "name,value" {
+		t.Fatalf("csv header = %q", lines[1])
+	}
+	if len(lines) != 7 {
+		t.Fatalf("%d csv lines, want 7", len(lines))
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	tab := &Table{Title: "md demo", Headers: []string{"a", "b"}}
+	tab.Add("x|y", 1.5)
+	if err := tab.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"### md demo",
+		"| a | b |",
+		"| --- | --- |",
+		"| x\\|y | 1.500 |", // pipes escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Table{Headers: []string{"a"}}
+	if err := empty.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a") {
+		t.Fatal("headers missing")
+	}
+}

@@ -1,0 +1,118 @@
+package scalapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Dgbsv solves the banded system A·x = b by band LU with partial pivoting
+// (LAPACK's DGBSV) — the banded capability §2.2 lists alongside dense
+// systems. Row interchanges widen the upper band by up to kl fill
+// diagonals, so the working storage holds kl+ku+1+kl bands; the
+// factorisation touches O(n·kl·(kl+ku)) entries instead of O(n³).
+func Dgbsv(a *mat.Banded, b []float64) ([]float64, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("scalapack: dgbsv rhs length %d, want %d", len(b), n)
+	}
+	kl, ku := a.KL(), a.KU()
+	// Working band width: kl below, ku+kl above (pivot fill).
+	kuw := ku + kl
+	width := kl + kuw + 1
+	// work[i][j-i+kl] for j ∈ [i−kl, i+kuw].
+	work := make([]float64, n*width)
+	at := func(i, j int) float64 { return work[i*width+(j-i+kl)] }
+	set := func(i, j int, v float64) { work[i*width+(j-i+kl)] = v }
+	for i := 0; i < n; i++ {
+		lo, hi := i-kl, i+ku
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			set(i, j, a.At(i, j))
+		}
+	}
+	x := mat.VecClone(b)
+
+	for k := 0; k < n; k++ {
+		// Pivot search within the column's band reach (rows k..k+kl).
+		last := k + kl
+		if last >= n {
+			last = n - 1
+		}
+		p, pv := k, math.Abs(at(k, k))
+		for i := k + 1; i <= last; i++ {
+			if v := math.Abs(at(i, k)); v > pv {
+				p, pv = i, v
+			}
+		}
+		if pv == 0 {
+			return nil, fmt.Errorf("%w: band pivot column %d", ErrSingular, k)
+		}
+		if p != k {
+			// Swap rows k and p over their shared in-band column range.
+			hi := p + kuw
+			if hi >= n {
+				hi = n - 1
+			}
+			for j := k; j <= hi; j++ {
+				// Row k's working band reaches k+kuw ≥ p+kuw ≥ j? Row k
+				// reaches k+kuw; with p ≤ k+kl, p+kuw ≤ k+kl+kuw; entries
+				// beyond k+kuw on row k are structurally zero fill slots —
+				// guard both sides.
+				vk, vp := 0.0, 0.0
+				if j <= k+kuw {
+					vk = at(k, j)
+				}
+				if j <= p+kuw && j >= p-kl {
+					vp = at(p, j)
+				}
+				if j <= k+kuw {
+					set(k, j, vp)
+				}
+				if j <= p+kuw && j >= p-kl {
+					set(p, j, vk)
+				}
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		piv := at(k, k)
+		hiCol := k + kuw
+		if hiCol >= n {
+			hiCol = n - 1
+		}
+		for i := k + 1; i <= last; i++ {
+			l := at(i, k) / piv
+			if l == 0 {
+				continue
+			}
+			set(i, k, 0)
+			for j := k + 1; j <= hiCol && j <= i+kuw; j++ {
+				set(i, j, at(i, j)-l*at(k, j))
+			}
+			x[i] -= l * x[k]
+		}
+	}
+	// Back substitution over the widened band.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		hi := i + kuw
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := i + 1; j <= hi; j++ {
+			s -= at(i, j) * x[j]
+		}
+		d := at(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero band U diagonal %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,155 @@
+package scalapack
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestDgbsvTridiagonalKnown(t *testing.T) {
+	// Classic tridiagonal [-1, 2, -1] with b = A·ones → x = ones.
+	n := 10
+	b, err := mat.NewBanded(n, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		b.Set(i, i, 2)
+		if i > 0 {
+			b.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Set(i, i+1, -1)
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	x, err := Dgbsv(b, b.MulVec(ones))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-12 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestDgbsvMatchesDenseSolve(t *testing.T) {
+	for _, tc := range []struct{ n, kl, ku int }{
+		{8, 1, 1}, {20, 2, 3}, {30, 4, 1}, {15, 0, 2}, {15, 3, 0}, {12, 5, 5},
+	} {
+		band, err := mat.NewBandedDiagonallyDominant(tc.n, tc.kl, tc.ku, int64(tc.n*7+tc.kl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, tc.n)
+		for i := range rhs {
+			rhs[i] = float64(i%5) - 2
+		}
+		want, err := Dgesv(&mat.System{A: band.Dense(), B: rhs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Dgbsv(band, rhs)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%+v: x[%d] = %g, dense %g", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDgbsvNeedsPivoting(t *testing.T) {
+	// Zero diagonal forces band pivoting into the subdiagonal.
+	b, err := mat.NewBanded(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [[0 2 0 0] [3 0 1 0] [0 1 0 2] [0 0 4 0]]
+	b.Set(0, 1, 2)
+	b.Set(1, 0, 3)
+	b.Set(1, 2, 1)
+	b.Set(2, 1, 1)
+	b.Set(2, 3, 2)
+	b.Set(3, 2, 4)
+	x0 := []float64{1, -1, 2, -2}
+	x, err := Dgbsv(b, b.MulVec(x0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x0 {
+		if math.Abs(x[i]-x0[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, x0)
+		}
+	}
+}
+
+func TestDgbsvSingular(t *testing.T) {
+	b, err := mat.NewBanded(3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 entirely zero.
+	b.Set(0, 0, 1)
+	b.Set(2, 2, 1)
+	if _, err := Dgbsv(b, []float64{1, 1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+	good, _ := mat.NewBandedDiagonallyDominant(4, 1, 1, 1)
+	if _, err := Dgbsv(good, []float64{1}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestDgbsvQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%30) + 5
+		if n < 5 {
+			n = -n + 6
+		}
+		kl := int(seed>>8) % 4
+		if kl < 0 {
+			kl = -kl
+		}
+		ku := int(seed>>16) % 4
+		if ku < 0 {
+			ku = -ku
+		}
+		if kl >= n {
+			kl = n - 1
+		}
+		if ku >= n {
+			ku = n - 1
+		}
+		band, err := mat.NewBandedDiagonallyDominant(n, kl, ku, seed)
+		if err != nil {
+			return false
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = float64((i*13)%7) - 3
+		}
+		x, err := Dgbsv(band, band.MulVec(x0))
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-8*(1+math.Abs(x0[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package scalapack
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+func TestPdgesvDistributeInputMatchesShared(t *testing.T) {
+	for _, tc := range []struct{ n, ranks, nb int }{
+		{20, 4, 4}, {24, 6, 4}, {23, 4, 4},
+	} {
+		sys := mat.NewRandomSystem(tc.n, int64(tc.n*19+tc.ranks))
+		shared, _ := runPdgesv(t, sys, tc.ranks, ParallelOptions{BlockSize: tc.nb})
+
+		w, err := mpi.NewWorld(tc.ranks, mpi.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var scattered []float64
+		err = w.Run(func(p *mpi.Proc) error {
+			in := sys
+			if p.Rank() != 0 {
+				in = nil
+			}
+			x, err := Pdgesv(p, p.World(), in, ParallelOptions{
+				BlockSize: tc.nb, DistributeInput: true,
+			})
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				mu.Lock()
+				scattered = x
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i := range shared {
+			if scattered[i] != shared[i] {
+				t.Fatalf("%+v: scattered x[%d] = %g, shared %g", tc, i, scattered[i], shared[i])
+			}
+		}
+	}
+}
+
+func TestPdgesvDistributeInputErrorsPropagate(t *testing.T) {
+	w, err := mpi.NewWorld(4, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 0
+	err = w.Run(func(p *mpi.Proc) error {
+		if _, err := Pdgesv(p, p.World(), nil, ParallelOptions{
+			BlockSize: 4, DistributeInput: true,
+		}); err != nil {
+			mu.Lock()
+			failures++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 4 {
+		t.Fatalf("%d ranks failed, want all 4", failures)
+	}
+}

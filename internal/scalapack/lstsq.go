@@ -1,0 +1,137 @@
+package scalapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Least-squares support (§2.2 lists "least squares problems" among the
+// library's capabilities): Householder QR factorisation and the DGELS-style
+// driver minimising ‖A·x − b‖₂ for full-rank overdetermined systems.
+
+// QR holds a Householder factorisation A = Q·R of an m×n matrix (m ≥ n):
+// R in the upper triangle, the reflector vectors below the diagonal, and
+// the scalar factors tau.
+type QR struct {
+	qr  *mat.Dense
+	tau []float64
+}
+
+// Dgeqrf computes the Householder QR of a (m ≥ n), leaving a untouched.
+func Dgeqrf(a *mat.Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("scalapack: dgeqrf needs m ≥ n, got %d×%d", m, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("scalapack: dgeqrf on empty matrix")
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector annihilating column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, fmt.Errorf("%w: QR column %d is zero", ErrSingular, k)
+		}
+		alpha := qr.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x − norm·e₁, normalised so v[k] = 1; tau = (norm−alpha)/norm.
+		v0 := alpha - norm
+		tau[k] = -v0 / norm
+		inv := 1 / v0
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)*inv)
+		}
+		qr.Set(k, k, norm)
+		// Apply the reflector to the trailing columns:
+		// A ← (I − tau·v·vᵀ)·A with v = [1, qr[k+1..m][k]].
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s *= tau[k]
+			qr.Set(k, j, qr.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau}, nil
+}
+
+// applyQT overwrites b with Qᵀ·b.
+func (f *QR) applyQT(b []float64) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	for k := 0; k < n; k++ {
+		s := b[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * b[i]
+		}
+		s *= f.tau[k]
+		b[k] -= s
+		for i := k + 1; i < m; i++ {
+			b[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// Solve returns the least-squares solution min‖A·x − b‖₂ plus the residual
+// norm, for the factorised A.
+func (f *QR) Solve(b []float64) (x []float64, residual float64, err error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("scalapack: rhs length %d, want %d", len(b), m)
+	}
+	c := mat.VecClone(b)
+	f.applyQT(c)
+	x = make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := c[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return nil, 0, fmt.Errorf("%w: zero R diagonal %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	var rr float64
+	for i := n; i < m; i++ {
+		rr += c[i] * c[i]
+	}
+	return x, math.Sqrt(rr), nil
+}
+
+// R returns the n×n upper-triangular factor.
+func (f *QR) R() *mat.Dense {
+	n := f.qr.Cols()
+	r := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Dgels solves the full-rank least-squares problem in one call.
+func Dgels(a *mat.Dense, b []float64) ([]float64, error) {
+	f, err := Dgeqrf(a)
+	if err != nil {
+		return nil, err
+	}
+	x, _, err := f.Solve(b)
+	return x, err
+}

@@ -1,0 +1,167 @@
+package scalapack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestDgelsSquareMatchesDgesv(t *testing.T) {
+	sys := mat.NewRandomSystem(15, 8)
+	want, err := Dgesv(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Dgels(sys.A, sys.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, dgesv %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDgelsOverdeterminedLine(t *testing.T) {
+	// Fit y = 2t + 1 exactly through consistent points.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := mat.New(len(ts), 2)
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		a.Set(i, 0, tv)
+		a.Set(i, 1, 1)
+		b[i] = 2*tv + 1
+	}
+	x, err := Dgels(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestDgelsResidualOrthogonality(t *testing.T) {
+	// For inconsistent systems, the residual r = A·x − b must satisfy
+	// Aᵀ·r ≈ 0 — the normal-equations optimality condition.
+	const m, n = 20, 4
+	a := mat.New(m, n)
+	b := make([]float64, m)
+	s := int64(1)
+	rngv := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s%1000)/500 - 1
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rngv())
+		}
+		b[i] = rngv()
+	}
+	f, err := Dgeqrf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, res, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mat.Sub(a.MulVec(x), b)
+	atr := a.Transpose().MulVec(r)
+	if mat.InfNorm(atr) > 1e-10 {
+		t.Fatalf("Aᵀ·r = %v, want ≈0", atr)
+	}
+	if math.Abs(res-mat.TwoNorm(r)) > 1e-9*(1+res) {
+		t.Fatalf("reported residual %g vs actual %g", res, mat.TwoNorm(r))
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	// R must be upper triangular with the same column norms structure:
+	// ‖A·e₁‖ = |R[0][0]| etc. via QᵀQ = I ⇒ ‖A·x‖ = ‖R·x‖ for all x.
+	a := mat.NewDiagonallyDominant(8, 4)
+	f, err := Dgeqrf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	for i := 1; i < 8; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+	x := []float64{1, -2, 3, -4, 5, -6, 7, -8}
+	if na, nr := mat.TwoNorm(a.MulVec(x)), mat.TwoNorm(r.MulVec(x)); math.Abs(na-nr) > 1e-9*na {
+		t.Fatalf("‖Ax‖ = %g but ‖Rx‖ = %g (Q not orthogonal)", na, nr)
+	}
+}
+
+func TestDgelsValidation(t *testing.T) {
+	if _, err := Dgeqrf(mat.New(2, 3)); err == nil {
+		t.Error("underdetermined accepted")
+	}
+	if _, err := Dgeqrf(mat.New(3, 0)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	zero := mat.New(3, 2) // zero column ⇒ rank deficient
+	if _, err := Dgeqrf(zero); err == nil {
+		t.Error("zero column accepted")
+	}
+	a := mat.NewDiagonallyDominant(4, 2)
+	f, err := Dgeqrf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestDgelsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%10) + 2
+		if n < 2 {
+			n = -n + 3
+		}
+		m := n + int(seed>>8)%10
+		if m < n {
+			m = n
+		}
+		// Random consistent system: b = A·x0 has LS solution exactly x0
+		// when A has full column rank.
+		a := mat.New(m, n)
+		s := seed | 1
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				a.Set(i, j, float64(s%2001)/1000-1)
+			}
+		}
+		// Boost the diagonal to keep full rank.
+		for j := 0; j < n; j++ {
+			a.Set(j, j, a.At(j, j)+3)
+		}
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = float64(j) - 1.5
+		}
+		x, err := Dgels(a, a.MulVec(x0))
+		if err != nil {
+			return false
+		}
+		for j := range x0 {
+			if math.Abs(x[j]-x0[j]) > 1e-7*(1+math.Abs(x0[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,785 @@
+package scalapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// ParallelOptions tunes Pdgesv.
+type ParallelOptions struct {
+	// BlockSize is the block-cyclic/panel width nb (DefaultBlockSize if 0).
+	BlockSize int
+	// ChargeCosts enables virtual-time/energy accounting of the compute.
+	ChargeCosts bool
+	// DistributeInput switches from the shared-file input model (every
+	// rank passes the same system) to master-reads-and-scatters: only comm
+	// rank 0 needs sys; each rank's block-cyclic pieces travel over
+	// point-to-point sends.
+	DistributeInput bool
+}
+
+// Pdgesv solves A·x = b by block-cyclic parallel Gaussian elimination with
+// partial pivoting over communicator c — the ScaLAPACK routine the paper
+// benchmarks. Every rank passes the same system and calls collectively;
+// all ranks return the full solution vector.
+//
+// The implementation is the standard right-looking algorithm: per panel,
+// the owning process column factorises it with per-column pivot
+// allreduces and row exchanges, the pivot list is broadcast row-wise and
+// the swaps applied everywhere, the L panel is broadcast row-wise and the
+// U block row (plus the transformed right-hand-side segment) column-wise,
+// and every rank updates its trailing block with a local GEMM. Distributed
+// blocked back-substitution recovers x.
+func Pdgesv(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptions) ([]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := NewGrid(c.Size())
+	if err != nil {
+		return nil, err
+	}
+	nb := opts.BlockSize
+	if nb <= 0 {
+		nb = DefaultBlockSize
+	}
+	if opts.ChargeCosts {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+
+	var st *pdState
+	if opts.DistributeInput {
+		st, err = newPdStateScattered(p, c, sys, grid, me, nb)
+	} else {
+		if verr := sys.Validate(); verr != nil {
+			return nil, verr
+		}
+		n := sys.N()
+		if nb > n {
+			nb = n
+		}
+		if grid.Pr > (n+nb-1)/nb || grid.Pc > (n+nb-1)/nb {
+			return nil, fmt.Errorf("scalapack: grid %d×%d too large for %d blocks of %d",
+				grid.Pr, grid.Pc, (n+nb-1)/nb, nb)
+		}
+		st, err = newPdState(p, c, sys.A, sys.B, grid, me, nb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.ChargeCosts {
+		st.charge = true
+	}
+
+	n, nb := st.n, st.nb
+	for k0 := 0; k0 < n; k0 += nb {
+		if err := st.panelStep(k0); err != nil {
+			return nil, fmt.Errorf("scalapack: panel at %d: %w", k0, err)
+		}
+	}
+	x, err := st.backSubstitute(func(_, li int) float64 { return st.b[li] })
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// pdState is one rank's share of a Pdgesv run.
+type pdState struct {
+	p       *mpi.Proc
+	c       *mpi.Comm
+	grid    Grid
+	pr, pc  int
+	rowComm *mpi.Comm // the pcs of my process row; my rank there is pc
+	colComm *mpi.Comm // the prs of my process column; my rank there is pr
+	n, nb   int
+	myRows  []int // global rows owned, ascending
+	myCols  []int // global cols owned, ascending
+	a       *mat.Dense
+	carryB  bool
+	b       []float64 // rhs entries for myRows, replicated across my row's pcs (fused path)
+	charge  bool
+	// pivots records (j, pv) swaps in elimination order for later
+	// right-hand sides (Factorization.Solve).
+	pivots [][2]int
+}
+
+func newPdState(p *mpi.Proc, c *mpi.Comm, a *mat.Dense, b []float64, grid Grid, me, nb int) (*pdState, error) {
+	st, err := layoutPdState(p, c, grid, me, nb, a.Rows(), b != nil)
+	if err != nil {
+		return nil, err
+	}
+	for li, gi := range st.myRows {
+		src := a.Row(gi)
+		dst := st.a.Row(li)
+		for lj, gj := range st.myCols {
+			dst[lj] = src[gj]
+		}
+	}
+	if st.carryB {
+		for li, gi := range st.myRows {
+			st.b[li] = b[gi]
+		}
+	}
+	return st, nil
+}
+
+// layoutPdState builds the communicator topology and empty local storage
+// of one rank — everything that does not depend on the matrix contents.
+func layoutPdState(p *mpi.Proc, c *mpi.Comm, grid Grid, me, nb, n int, carryB bool) (*pdState, error) {
+	pr, pc, err := grid.Coords(me)
+	if err != nil {
+		return nil, err
+	}
+	rowComm, err := p.CommSplit(c, pr, pc)
+	if err != nil {
+		return nil, err
+	}
+	colComm, err := p.CommSplit(c, pc, pr)
+	if err != nil {
+		return nil, err
+	}
+	st := &pdState{
+		p: p, c: c, grid: grid, pr: pr, pc: pc,
+		rowComm: rowComm, colComm: colComm, n: n, nb: nb,
+		carryB: carryB,
+	}
+	for g := 0; g < n; g++ {
+		if o, _ := OwnerAndLocal(g, nb, grid.Pr); o == pr {
+			st.myRows = append(st.myRows, g)
+		}
+		if o, _ := OwnerAndLocal(g, nb, grid.Pc); o == pc {
+			st.myCols = append(st.myCols, g)
+		}
+	}
+	st.a = mat.New(len(st.myRows), len(st.myCols))
+	if carryB {
+		st.b = make([]float64, len(st.myRows))
+	}
+	return st, nil
+}
+
+// newPdStateScattered builds a rank's state in master-reads-and-scatters
+// mode: a metadata broadcast shares the order (and propagates validation
+// failures coherently), then one MPI_Scatter ships every rank its
+// block-cyclic pieces plus its share of b.
+func newPdStateScattered(p *mpi.Proc, c *mpi.Comm, sys *mat.System, grid Grid, me, nb int) (*pdState, error) {
+	var meta []float64
+	var masterErr error
+	if me == 0 {
+		switch {
+		case sys == nil:
+			masterErr = fmt.Errorf("scalapack: master needs the input system")
+		case sys.Validate() != nil:
+			masterErr = sys.Validate()
+		}
+		if masterErr != nil {
+			meta = []float64{1, 0}
+		} else {
+			meta = []float64{0, float64(sys.N())}
+		}
+	}
+	meta, err := p.Bcast(c, 0, meta)
+	if err != nil {
+		return nil, err
+	}
+	if meta[0] != 0 {
+		if masterErr != nil {
+			return nil, masterErr
+		}
+		return nil, fmt.Errorf("scalapack: master rejected the input system")
+	}
+	n := int(meta[1])
+	if nb > n {
+		nb = n
+	}
+	if grid.Pr > (n+nb-1)/nb || grid.Pc > (n+nb-1)/nb {
+		return nil, fmt.Errorf("scalapack: grid %d×%d too large for %d blocks of %d",
+			grid.Pr, grid.Pc, (n+nb-1)/nb, nb)
+	}
+	st, err := layoutPdState(p, c, grid, me, nb, n, true)
+	if err != nil {
+		return nil, err
+	}
+	var chunks [][]float64
+	if me == 0 {
+		chunks = make([][]float64, grid.Size())
+		for r := 0; r < grid.Size(); r++ {
+			rpr, rpc, err := grid.Coords(r)
+			if err != nil {
+				return nil, err
+			}
+			var rows, cols []int
+			for g := 0; g < n; g++ {
+				if o, _ := OwnerAndLocal(g, nb, grid.Pr); o == rpr {
+					rows = append(rows, g)
+				}
+				if o, _ := OwnerAndLocal(g, nb, grid.Pc); o == rpc {
+					cols = append(cols, g)
+				}
+			}
+			flat := make([]float64, 0, len(rows)*len(cols)+len(rows))
+			for _, gi := range rows {
+				src := sys.A.Row(gi)
+				for _, gj := range cols {
+					flat = append(flat, src[gj])
+				}
+			}
+			for _, gi := range rows {
+				flat = append(flat, sys.B[gi])
+			}
+			chunks[r] = flat
+		}
+	}
+	chunk, err := p.Scatter(c, 0, chunks)
+	if err != nil {
+		return nil, err
+	}
+	nr, nc := len(st.myRows), len(st.myCols)
+	if len(chunk) != nr*nc+nr {
+		return nil, fmt.Errorf("scalapack: scattered block has %d entries, want %d", len(chunk), nr*nc+nr)
+	}
+	for li := 0; li < nr; li++ {
+		copy(st.a.Row(li), chunk[li*nc:(li+1)*nc])
+	}
+	copy(st.b, chunk[nr*nc:])
+	return st, nil
+}
+
+// localRow returns the local index of global row g if this rank's process
+// row owns it.
+func (st *pdState) localRow(g int) (int, bool) {
+	o, l := OwnerAndLocal(g, st.nb, st.grid.Pr)
+	return l, o == st.pr
+}
+
+// localCol is the column counterpart of localRow.
+func (st *pdState) localCol(g int) (int, bool) {
+	o, l := OwnerAndLocal(g, st.nb, st.grid.Pc)
+	return l, o == st.pc
+}
+
+// chargeFlops accounts local arithmetic to the virtual clock.
+func (st *pdState) chargeFlops(flops float64) {
+	if st.charge && flops > 0 {
+		st.p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
+	}
+}
+
+// panelStep factorises the panel starting at global column k0 and updates
+// the trailing matrix and right-hand side.
+func (st *pdState) panelStep(k0 int) error {
+	n, nb := st.n, st.nb
+	kw := nb
+	if k0+kw > n {
+		kw = n - k0
+	}
+	k1 := k0 + kw // first column after the panel
+	pcK := (k0 / nb) % st.grid.Pc
+	prK := (k0 / nb) % st.grid.Pr
+
+	// --- Panel factorisation (process column pcK only) ---
+	pivots := make([]int, kw)
+	status := 0.0
+	if st.pc == pcK {
+		for j := k0; j < k1; j++ {
+			piv, err := st.factorColumn(j, k0, k1)
+			if err != nil {
+				status = 1
+				break
+			}
+			pivots[j-k0] = piv
+		}
+	}
+
+	// Broadcast the pivot list (with a status flag) row-wise so every
+	// process column learns the swaps; a singular panel aborts all ranks
+	// coherently instead of deadlocking them.
+	payload := make([]float64, kw+1)
+	if st.pc == pcK {
+		payload[0] = status
+		for t, pv := range pivots {
+			payload[t+1] = float64(pv)
+		}
+	}
+	payload, err := st.p.Bcast(st.rowComm, pcK, payload)
+	if err != nil {
+		return err
+	}
+	if payload[0] != 0 {
+		return fmt.Errorf("%w: panel at column %d", ErrSingular, k0)
+	}
+	for t := range pivots {
+		pivots[t] = int(payload[t+1])
+		st.pivots = append(st.pivots, [2]int{k0 + t, pivots[t]})
+	}
+
+	// --- Apply the row swaps outside the panel, and to b ---
+	for t, pv := range pivots {
+		j := k0 + t
+		if pv == j {
+			continue
+		}
+		if err := st.swapRows(j, pv, func(g int) bool { return g < k0 || g >= k1 }); err != nil {
+			return err
+		}
+		if st.carryB {
+			if err := st.swapB(j, pv); err != nil {
+				return err
+			}
+		}
+	}
+
+	// --- Row-wise broadcast of the panel columns (L11 at prK, L21 below) ---
+	lpanel, err := st.broadcastPanel(k0, k1, pcK)
+	if err != nil {
+		return err
+	}
+
+	// --- U block row: triangular solve on my trailing columns (prK row) ---
+	// and transform of the panel segment of b, then column-wise broadcast.
+	if st.pr == prK {
+		st.computeURow(k0, k1, lpanel)
+	}
+	u12, bp, err := st.broadcastURow(k0, k1, prK)
+	if err != nil {
+		return err
+	}
+
+	// --- Trailing update: A22 -= L21·U12 and b -= L21·bp ---
+	st.trailingUpdate(k0, k1, lpanel, u12, bp)
+	return nil
+}
+
+// factorColumn performs the pivot search, swap and elimination for global
+// column j inside the panel [k0,k1). Only pcK ranks call it.
+func (st *pdState) factorColumn(j, k0, k1 int) (int, error) {
+	lj, ok := st.localCol(j)
+	if !ok {
+		return 0, fmt.Errorf("scalapack: rank (%d,%d) does not own panel column %d", st.pr, st.pc, j)
+	}
+	// Local candidate among owned rows ≥ j.
+	best, bestRow := math.Inf(-1), j
+	scanned := 0
+	for li := len(st.myRows) - 1; li >= 0; li-- {
+		gi := st.myRows[li]
+		if gi < j {
+			break
+		}
+		scanned++
+		if v := math.Abs(st.a.At(li, lj)); v > best {
+			best, bestRow = v, gi
+		}
+	}
+	st.chargeFlops(float64(scanned))
+	val, piv, err := st.p.AllreduceMaxLoc(st.colComm, best, bestRow)
+	if err != nil {
+		return 0, err
+	}
+	if val <= 0 {
+		return 0, fmt.Errorf("%w: column %d", ErrSingular, j)
+	}
+	// Swap rows j and piv within the panel columns.
+	if piv != j {
+		if err := st.swapRows(j, piv, func(g int) bool { return g >= k0 && g < k1 }); err != nil {
+			return 0, err
+		}
+	}
+	// Broadcast the pivot row segment (cols j..k1) down the process column.
+	ownerPr, _ := OwnerAndLocal(j, st.nb, st.grid.Pr)
+	var seg []float64
+	if st.pr == ownerPr {
+		li, _ := st.localRow(j)
+		seg = make([]float64, k1-j)
+		for t := j; t < k1; t++ {
+			lt, ok := st.localCol(t)
+			if !ok {
+				return 0, fmt.Errorf("scalapack: panel column %d not local", t)
+			}
+			seg[t-j] = st.a.At(li, lt)
+		}
+	}
+	seg, err = st.p.Bcast(st.colComm, ownerPr, seg)
+	if err != nil {
+		return 0, err
+	}
+	pivVal := seg[0]
+	// Eliminate below: L multipliers and panel trailing update.
+	var flops float64
+	for li := len(st.myRows) - 1; li >= 0; li-- {
+		gi := st.myRows[li]
+		if gi <= j {
+			break
+		}
+		l := st.a.At(li, lj) / pivVal
+		st.a.Set(li, lj, l)
+		if l != 0 {
+			row := st.a.Row(li)
+			for t := j + 1; t < k1; t++ {
+				lt, _ := st.localCol(t)
+				row[lt] -= l * seg[t-j]
+			}
+		}
+		flops += float64(2*(k1-j-1) + 1)
+	}
+	st.chargeFlops(flops)
+	return piv, nil
+}
+
+// swapRows exchanges global rows j and pv across the columns selected by
+// keep. Rows on the same process row swap locally; otherwise the two
+// owners exchange segments through the column communicator.
+func (st *pdState) swapRows(j, pv int, keep func(g int) bool) error {
+	prA, _ := OwnerAndLocal(j, st.nb, st.grid.Pr)
+	prB, _ := OwnerAndLocal(pv, st.nb, st.grid.Pr)
+	var cols []int // local col indices to exchange
+	for lj, gj := range st.myCols {
+		if keep(gj) {
+			cols = append(cols, lj)
+		}
+	}
+	if prA == prB {
+		if st.pr != prA || len(cols) == 0 {
+			return nil
+		}
+		liA, _ := st.localRow(j)
+		liB, _ := st.localRow(pv)
+		rowA, rowB := st.a.Row(liA), st.a.Row(liB)
+		for _, lj := range cols {
+			rowA[lj], rowB[lj] = rowB[lj], rowA[lj]
+		}
+		return nil
+	}
+	if st.pr != prA && st.pr != prB {
+		return nil
+	}
+	mine, other := j, prB
+	if st.pr == prB {
+		mine, other = pv, prA
+	}
+	li, _ := st.localRow(mine)
+	row := st.a.Row(li)
+	seg := make([]float64, len(cols))
+	for t, lj := range cols {
+		seg[t] = row[lj]
+	}
+	// Deterministic exchange order: the lower process row sends first.
+	const tagSwap = 101
+	if st.pr < other {
+		if err := st.p.Send(st.colComm, other, tagSwap, seg); err != nil {
+			return err
+		}
+		got, err := st.p.Recv(st.colComm, other, tagSwap)
+		if err != nil {
+			return err
+		}
+		seg = got
+	} else {
+		got, err := st.p.Recv(st.colComm, other, tagSwap)
+		if err != nil {
+			return err
+		}
+		if err := st.p.Send(st.colComm, other, tagSwap, seg); err != nil {
+			return err
+		}
+		seg = got
+	}
+	if len(seg) != len(cols) {
+		return fmt.Errorf("scalapack: swap segment length %d, want %d", len(seg), len(cols))
+	}
+	for t, lj := range cols {
+		row[lj] = seg[t]
+	}
+	return nil
+}
+
+// swapB exchanges the replicated right-hand-side entries of global rows j
+// and pv (every process column performs the same exchange, mirroring the
+// extra-column treatment of b in pdgesv's pdlaswp).
+func (st *pdState) swapB(j, pv int) error {
+	prA, _ := OwnerAndLocal(j, st.nb, st.grid.Pr)
+	prB, _ := OwnerAndLocal(pv, st.nb, st.grid.Pr)
+	if prA == prB {
+		if st.pr == prA {
+			liA, _ := st.localRow(j)
+			liB, _ := st.localRow(pv)
+			st.b[liA], st.b[liB] = st.b[liB], st.b[liA]
+		}
+		return nil
+	}
+	if st.pr != prA && st.pr != prB {
+		return nil
+	}
+	mine, other := j, prB
+	if st.pr == prB {
+		mine, other = pv, prA
+	}
+	li, _ := st.localRow(mine)
+	const tagSwapB = 102
+	if st.pr < other {
+		if err := st.p.Send(st.colComm, other, tagSwapB, []float64{st.b[li]}); err != nil {
+			return err
+		}
+		got, err := st.p.Recv(st.colComm, other, tagSwapB)
+		if err != nil {
+			return err
+		}
+		st.b[li] = got[0]
+	} else {
+		got, err := st.p.Recv(st.colComm, other, tagSwapB)
+		if err != nil {
+			return err
+		}
+		if err := st.p.Send(st.colComm, other, tagSwapB, []float64{st.b[li]}); err != nil {
+			return err
+		}
+		st.b[li] = got[0]
+	}
+	return nil
+}
+
+// broadcastPanel ships each process row's factored panel columns from pcK
+// to the whole row. The returned matrix holds, for every owned row, the
+// kw panel-column values (L11 rows for prK, multipliers L21 elsewhere).
+func (st *pdState) broadcastPanel(k0, k1, pcK int) (*mat.Dense, error) {
+	kw := k1 - k0
+	var flat []float64
+	if st.pc == pcK {
+		flat = make([]float64, len(st.myRows)*kw)
+		for li := range st.myRows {
+			row := st.a.Row(li)
+			for t := k0; t < k1; t++ {
+				lt, _ := st.localCol(t)
+				flat[li*kw+(t-k0)] = row[lt]
+			}
+		}
+	}
+	flat, err := st.p.Bcast(st.rowComm, pcK, flat)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat) != len(st.myRows)*kw {
+		return nil, fmt.Errorf("scalapack: panel payload %d, want %d", len(flat), len(st.myRows)*kw)
+	}
+	lp, err := mat.NewFromData(len(st.myRows), kw, flat)
+	if err != nil {
+		return nil, err
+	}
+	return lp, nil
+}
+
+// computeURow turns rows k0..k1 of my trailing columns into U12 via
+// forward substitution with unit-lower L11, and transforms the panel
+// segment of b the same way. Only prK ranks call it.
+func (st *pdState) computeURow(k0, k1 int, lpanel *mat.Dense) {
+	kw := k1 - k0
+	// Local row indices of the panel block rows (all owned by prK).
+	lis := make([]int, kw)
+	for t := 0; t < kw; t++ {
+		li, ok := st.localRow(k0 + t)
+		if !ok {
+			panic(fmt.Sprintf("scalapack: process row lost panel row %d", k0+t))
+		}
+		lis[t] = li
+	}
+	var flops float64
+	for _, gj := range st.myCols {
+		if gj < k1 {
+			continue
+		}
+		lj, _ := st.localCol(gj)
+		for i := 1; i < kw; i++ {
+			var s float64
+			lrow := lpanel.Row(lis[i])
+			for t := 0; t < i; t++ {
+				s += lrow[t] * st.a.At(lis[t], lj)
+			}
+			st.a.Set(lis[i], lj, st.a.At(lis[i], lj)-s)
+		}
+		flops += float64(kw * kw)
+	}
+	// b panel: same forward substitution on the replicated segment.
+	if st.carryB {
+		for i := 1; i < kw; i++ {
+			var s float64
+			lrow := lpanel.Row(lis[i])
+			for t := 0; t < i; t++ {
+				s += lrow[t] * st.b[lis[t]]
+			}
+			st.b[lis[i]] -= s
+		}
+		flops += float64(kw * kw)
+	}
+	st.chargeFlops(flops)
+}
+
+// broadcastURow ships the U block row (my trailing columns) and the
+// transformed b panel segment from process row prK down every process
+// column. Returns U12 for my columns (kw × nTrailingLocal) and bp (kw).
+func (st *pdState) broadcastURow(k0, k1, prK int) (*mat.Dense, []float64, error) {
+	kw := k1 - k0
+	var trail []int
+	for lj, gj := range st.myCols {
+		if gj >= k1 {
+			trail = append(trail, lj)
+		}
+	}
+	bLen := 0
+	if st.carryB {
+		bLen = kw
+	}
+	var flat []float64
+	if st.pr == prK {
+		flat = make([]float64, kw*len(trail)+bLen)
+		for t := 0; t < kw; t++ {
+			li, _ := st.localRow(k0 + t)
+			row := st.a.Row(li)
+			for u, lj := range trail {
+				flat[t*len(trail)+u] = row[lj]
+			}
+			if st.carryB {
+				flat[kw*len(trail)+t] = st.b[li]
+			}
+		}
+	}
+	flat, err := st.p.Bcast(st.colComm, prK, flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(flat) != kw*len(trail)+bLen {
+		return nil, nil, fmt.Errorf("scalapack: U row payload %d, want %d", len(flat), kw*len(trail)+bLen)
+	}
+	u12, err := mat.NewFromData(kw, len(trail), flat[:kw*len(trail)])
+	if err != nil {
+		return nil, nil, err
+	}
+	return u12, flat[kw*len(trail):], nil
+}
+
+// trailingUpdate applies A22 -= L21·U12 on the owned trailing block and
+// b -= L21·bp on the owned trailing rows.
+func (st *pdState) trailingUpdate(k0, k1 int, lpanel, u12 *mat.Dense, bp []float64) {
+	kw := k1 - k0
+	var trail []int
+	for lj, gj := range st.myCols {
+		if gj >= k1 {
+			trail = append(trail, lj)
+		}
+	}
+	var flops float64
+	for li, gi := range st.myRows {
+		if gi < k1 {
+			continue
+		}
+		lrow := lpanel.Row(li)
+		arow := st.a.Row(li)
+		for u, lj := range trail {
+			var s float64
+			for t := 0; t < kw; t++ {
+				s += lrow[t] * u12.At(t, u)
+			}
+			arow[lj] -= s
+		}
+		if st.carryB {
+			var sb float64
+			for t := 0; t < kw; t++ {
+				sb += lrow[t] * bp[t]
+			}
+			st.b[li] -= sb
+			flops += float64(2 * kw)
+		}
+		flops += float64(2 * kw * len(trail))
+	}
+	st.chargeFlops(flops)
+}
+
+// backSubstitute solves U·x = y block row by block row from the bottom,
+// broadcasting each solved segment to the whole grid. rhsAt returns the
+// transformed right-hand-side entry of a global row (only consulted on
+// the process row owning it).
+func (st *pdState) backSubstitute(rhsAt func(globalRow, localRow int) float64) ([]float64, error) {
+	n, nb := st.n, st.nb
+	x := make([]float64, n)
+	nBlocks := (n + nb - 1) / nb
+	for bi := nBlocks - 1; bi >= 0; bi-- {
+		r0 := bi * nb
+		r1 := r0 + nb
+		if r1 > n {
+			r1 = n
+		}
+		kw := r1 - r0
+		prI := bi % st.grid.Pr
+		pcI := bi % st.grid.Pc
+		solver := st.grid.Rank(prI, pcI)
+
+		if st.pr == prI {
+			// Partial sums over my trailing columns.
+			s := make([]float64, kw)
+			var flops float64
+			for t := 0; t < kw; t++ {
+				li, _ := st.localRow(r0 + t)
+				row := st.a.Row(li)
+				for lj, gj := range st.myCols {
+					if gj >= r1 {
+						s[t] += row[lj] * x[gj]
+					}
+				}
+			}
+			flops = float64(2 * kw * len(st.myCols))
+			st.chargeFlops(flops)
+			total, err := st.p.AllreduceSum(st.rowComm, s)
+			if err != nil {
+				return nil, err
+			}
+			if st.pc == pcI {
+				// Solve the diagonal block backwards.
+				seg := make([]float64, kw+1) // status + solution
+				for t := kw - 1; t >= 0; t-- {
+					li, _ := st.localRow(r0 + t)
+					row := st.a.Row(li)
+					v := rhsAt(r0+t, li) - total[t]
+					for u := kw - 1; u > t; u-- {
+						lu, _ := st.localCol(r0 + u)
+						v -= row[lu] * seg[u+1]
+					}
+					ld, ok := st.localCol(r0 + t)
+					if !ok {
+						return nil, fmt.Errorf("scalapack: diagonal col %d not local", r0+t)
+					}
+					d := row[ld]
+					if d == 0 {
+						seg[0] = 1
+						break
+					}
+					seg[t+1] = v / d
+				}
+				st.chargeFlops(float64(kw * kw))
+				got, err := st.p.Bcast(st.c, solver, seg)
+				if err != nil {
+					return nil, err
+				}
+				if got[0] != 0 {
+					return nil, fmt.Errorf("%w: zero U diagonal in block %d", ErrSingular, bi)
+				}
+				copy(x[r0:r1], got[1:])
+				continue
+			}
+		}
+		got, err := st.p.Bcast(st.c, solver, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != kw+1 {
+			return nil, fmt.Errorf("scalapack: solution payload %d, want %d", len(got), kw+1)
+		}
+		if got[0] != 0 {
+			return nil, fmt.Errorf("%w: zero U diagonal in block %d", ErrSingular, bi)
+		}
+		copy(x[r0:r1], got[1:])
+	}
+	return x, nil
+}

@@ -1,0 +1,190 @@
+package scalapack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/rapl"
+)
+
+func runPdgesv(t *testing.T, sys *mat.System, ranks int, opts ParallelOptions) ([]float64, *mpi.World) {
+	t.Helper()
+	w, err := mpi.NewWorld(ranks, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var x0 []float64
+	err = w.Run(func(p *mpi.Proc) error {
+		x, err := Pdgesv(p, p.World(), sys, opts)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			x0 = x
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x0, w
+}
+
+func TestPdgesvMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ n, ranks, nb int }{
+		{16, 1, 4},  // degenerate 1×1 grid
+		{16, 2, 4},  // 1×2 grid
+		{16, 4, 4},  // 2×2 grid
+		{20, 4, 4},  // ragged final block
+		{23, 4, 4},  // very ragged
+		{24, 6, 4},  // 2×3 grid
+		{30, 9, 5},  // 3×3 grid
+		{32, 4, 16}, // exactly one block per grid dimension
+		{16, 4, 8},  // two blocks per grid dimension
+	} {
+		sys := mat.NewRandomSystem(tc.n, int64(tc.n*7+tc.ranks))
+		want, err := Dgesv(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := runPdgesv(t, sys, tc.ranks, ParallelOptions{BlockSize: tc.nb})
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%+v: x[%d] = %g, sequential %g", tc, i, got[i], want[i])
+			}
+		}
+		if rr := mat.RelativeResidual(sys.A, got, sys.B); rr > 1e-12 {
+			t.Fatalf("%+v: residual %g", tc, rr)
+		}
+	}
+}
+
+func TestPdgesvAllRanksGetSolution(t *testing.T) {
+	sys := mat.NewRandomSystem(18, 5)
+	w, err := mpi.NewWorld(6, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := make([][]float64, 6)
+	err = w.Run(func(p *mpi.Proc) error {
+		x, err := Pdgesv(p, p.World(), sys, ParallelOptions{BlockSize: 4})
+		if err != nil {
+			return err
+		}
+		sols[p.Rank()] = x
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 6; r++ {
+		for i := range sols[0] {
+			if sols[r][i] != sols[0][i] {
+				t.Fatalf("rank %d solution differs at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPdgesvPivotingMatters(t *testing.T) {
+	// A matrix that breaks unpivoted elimination: zero on the diagonal
+	// until a swap happens. IMe would reject it; pdgesv must solve it.
+	a, _ := mat.NewFromData(4, 4, []float64{
+		0, 2, 0, 1,
+		2, 0, 1, 0,
+		0, 1, 0, 2,
+		1, 0, 2, 0,
+	})
+	x0 := []float64{1, -2, 3, -4}
+	sys := &mat.System{A: a, B: a.MulVec(x0)}
+	got, _ := runPdgesv(t, sys, 4, ParallelOptions{BlockSize: 2})
+	for i := range x0 {
+		if math.Abs(got[i]-x0[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", got, x0)
+		}
+	}
+}
+
+func TestPdgesvSingularAbortsAllRanks(t *testing.T) {
+	a, _ := mat.NewFromData(4, 4, []float64{
+		1, 2, 1, 2,
+		2, 4, 2, 4, // dependent row: singular
+		1, 1, 1, 1,
+		2, 1, 2, 1,
+	})
+	sys := &mat.System{A: a, B: []float64{1, 2, 3, 4}}
+	w, err := mpi.NewWorld(4, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	errCount := 0
+	err = w.Run(func(p *mpi.Proc) error {
+		if _, err := Pdgesv(p, p.World(), sys, ParallelOptions{BlockSize: 2}); err != nil {
+			mu.Lock()
+			errCount++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errCount != 4 {
+		t.Fatalf("%d ranks saw the singularity, want all 4 (no deadlock)", errCount)
+	}
+}
+
+func TestPdgesvChargesEnergy(t *testing.T) {
+	sys := mat.NewRandomSystem(32, 2)
+	_, w := runPdgesv(t, sys, 4, ParallelOptions{BlockSize: 8, ChargeCosts: true})
+	if w.MaxClock() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if w.Nodes()[0].ExactEnergy(rapl.PKG0) <= 0 {
+		t.Fatal("no energy charged")
+	}
+}
+
+func TestPdgesvGeneratesTraffic(t *testing.T) {
+	sys := mat.NewRandomSystem(24, 8)
+	_, w := runPdgesv(t, sys, 4, ParallelOptions{BlockSize: 4})
+	msgs, vol := w.Traffic()
+	if msgs == 0 || vol == 0 {
+		t.Fatal("distributed solve exchanged no messages")
+	}
+}
+
+func TestPdgesvRejectsOversizedGrid(t *testing.T) {
+	sys := mat.NewRandomSystem(4, 1)
+	w, err := mpi.NewWorld(9, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		if _, err := Pdgesv(p, p.World(), sys, ParallelOptions{BlockSize: 4}); err == nil {
+			return errString("3×3 grid over 1 block accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestTotalFlopsLeadingTerm(t *testing.T) {
+	n := 1000.0
+	if r := TotalFlops(1000) / (2.0 / 3.0 * n * n * n); r < 1 || r > 1.01 {
+		t.Fatalf("TotalFlops ratio to 2/3·n³ = %g", r)
+	}
+}

@@ -1,0 +1,311 @@
+package scalapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Pdgbsv solves a diagonally dominant banded system A·x = b in parallel
+// over ScaLAPACK's "block data distribution for banded matrices" (§2.2),
+// using the truncated-SPIKE scheme:
+//
+//  1. each rank owns a contiguous block of rows and factorises its local
+//     band without pivoting (safe: diagonal dominance is inherited by the
+//     diagonal blocks);
+//  2. it solves for the local right-hand side and for the coupling "spike"
+//     columns that reach into the neighbouring blocks;
+//  3. the spike tips form a small reduced system in the blocks' top/bottom
+//     unknowns, gathered at the root, solved densely and broadcast;
+//  4. each rank recovers its interior unknowns locally.
+//
+// Every rank passes the same matrix and right-hand side and calls
+// collectively; all ranks return the full solution.
+func Pdgbsv(p *mpi.Proc, c *mpi.Comm, a *mat.Banded, b []float64) ([]float64, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("scalapack: pdgbsv rhs length %d, want %d", len(b), n)
+	}
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	ranks := c.Size()
+	kl, ku := a.KL(), a.KU()
+	minBlock := kl + ku + 1
+	if n/ranks < minBlock {
+		return nil, fmt.Errorf("scalapack: pdgbsv needs blocks of at least %d rows, %d ranks give %d",
+			minBlock, ranks, n/ranks)
+	}
+	lo, hi := blockRange(n, ranks, me)
+	m := hi - lo
+
+	// Local band factorisation (no pivoting: diagonally dominant).
+	f, err := factorBandNoPivot(a, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local solves: right-hand side and the spike columns.
+	g := f.solve(sliceRange(b, lo, hi))
+	// W spans the kl columns coupling to the previous block, V the ku
+	// columns coupling to the next.
+	w := make([][]float64, 0, kl)
+	if me > 0 {
+		for t := 0; t < kl; t++ {
+			col := make([]float64, m)
+			// Coupling column: global column lo−kl+t feeds rows lo..lo+kl−1.
+			gcol := lo - kl + t
+			for i := lo; i < lo+kl && i < hi; i++ {
+				if gcol >= i-kl && gcol >= 0 {
+					col[i-lo] = a.At(i, gcol)
+				}
+			}
+			w = append(w, f.solve(col))
+		}
+	}
+	v := make([][]float64, 0, ku)
+	if me < ranks-1 {
+		for t := 0; t < ku; t++ {
+			col := make([]float64, m)
+			gcol := hi + t
+			for i := hi - ku; i < hi; i++ {
+				if i >= lo && gcol <= i+ku && gcol < n {
+					col[i-lo] = a.At(i, gcol)
+				}
+			}
+			v = append(v, f.solve(col))
+		}
+	}
+
+	// Gather the spike tips and g tips at the root. The tips that matter
+	// are the rows other blocks couple to: the TOP ku rows (consumed by
+	// the previous block's V spike) and the BOTTOM kl rows (consumed by
+	// the next block's W spike). Each tip row carries [g | W(kl) | V(ku)].
+	tipRows := func(idx int) []float64 {
+		row := make([]float64, 0, 1+kl+ku)
+		row = append(row, g[idx])
+		for t := 0; t < kl; t++ {
+			if me > 0 {
+				row = append(row, w[t][idx])
+			} else {
+				row = append(row, 0)
+			}
+		}
+		for t := 0; t < ku; t++ {
+			if me < ranks-1 {
+				row = append(row, v[t][idx])
+			} else {
+				row = append(row, 0)
+			}
+		}
+		return row
+	}
+	payload := make([]float64, 0, (kl+ku)*(1+kl+ku))
+	for i := 0; i < ku; i++ {
+		payload = append(payload, tipRows(i)...)
+	}
+	for i := m - kl; i < m; i++ {
+		payload = append(payload, tipRows(i)...)
+	}
+	parts, err := p.Gather(c, 0, payload)
+	if err != nil {
+		return nil, err
+	}
+
+	// Root: assemble and solve the reduced system in the tip unknowns
+	// z = [top_0 (ku) | bot_0 (kl) | top_1 | bot_1 | …].
+	var tips []float64
+	if me == 0 {
+		tips, err = solveReduced(parts, ranks, kl, ku)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tips, err = p.Bcast(c, 0, tips)
+	if err != nil {
+		return nil, err
+	}
+	per := kl + ku
+
+	// Local recovery: x_j = g − W·bot_{j−1} − V·top_{j+1}.
+	x := make([]float64, n)
+	local := mat.VecClone(g)
+	if me > 0 {
+		for t := 0; t < kl; t++ {
+			coupling := tips[(me-1)*per+ku+t]
+			mat.Axpy(-coupling, w[t], local)
+		}
+	}
+	if me < ranks-1 {
+		for t := 0; t < ku; t++ {
+			coupling := tips[(me+1)*per+t]
+			mat.Axpy(-coupling, v[t], local)
+		}
+	}
+	copy(x[lo:hi], local)
+
+	// Share the pieces so every rank returns the full vector.
+	all, err := p.Allgather(c, paddedBlock(x[lo:hi], n, ranks))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, n)
+	for r := 0; r < ranks; r++ {
+		rlo, rhi := blockRange(n, ranks, r)
+		out = append(out, all[r][:rhi-rlo]...)
+	}
+	return out, nil
+}
+
+// blockRange mirrors ime.BlockRange for contiguous row blocks.
+func blockRange(n, ranks, r int) (int, int) {
+	base := n / ranks
+	rem := n % ranks
+	if r < rem {
+		lo := r * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo := rem*(base+1) + (r-rem)*base
+	return lo, lo + base
+}
+
+// paddedBlock pads a block to the maximum block size so Allgather sees
+// uniform lengths.
+func paddedBlock(x []float64, n, ranks int) []float64 {
+	max := n/ranks + 1
+	out := make([]float64, max)
+	copy(out, x)
+	return out
+}
+
+func sliceRange(b []float64, lo, hi int) []float64 {
+	out := make([]float64, hi-lo)
+	copy(out, b[lo:hi])
+	return out
+}
+
+// solveReduced assembles the tip system at the root and solves it densely.
+// parts[r] holds, for block r, ku top rows then kl bottom rows, each row
+// being [g, W(kl), V(ku)]; the unknown layout is z = [top_r (ku),
+// bot_r (kl)] per block. Each tip equation reads
+// z + W·bot_{r−1} + V·top_{r+1} = g.
+func solveReduced(parts [][]float64, ranks, kl, ku int) ([]float64, error) {
+	per := kl + ku
+	nRed := ranks * per
+	red := mat.New(nRed, nRed)
+	rhs := make([]float64, nRed)
+	rowLen := 1 + kl + ku
+	for r := 0; r < ranks; r++ {
+		part := parts[r]
+		if len(part) != per*rowLen {
+			return nil, fmt.Errorf("scalapack: reduced payload of rank %d has %d entries, want %d",
+				r, len(part), per*rowLen)
+		}
+		for i := 0; i < per; i++ {
+			row := part[i*rowLen : (i+1)*rowLen]
+			gi := r*per + i
+			red.Set(gi, gi, 1)
+			rhs[gi] = row[0]
+			// W couples to the previous block's bottom-kl unknowns …
+			if r > 0 {
+				for t := 0; t < kl; t++ {
+					col := (r-1)*per + ku + t
+					red.Set(gi, col, red.At(gi, col)+row[1+t])
+				}
+			}
+			// … V to the next block's top-ku unknowns.
+			if r < ranks-1 {
+				for t := 0; t < ku; t++ {
+					col := (r+1)*per + t
+					red.Set(gi, col, red.At(gi, col)+row[1+kl+t])
+				}
+			}
+		}
+	}
+	return Dgesv(&mat.System{A: red, B: rhs})
+}
+
+// bandFactor is an in-place band LU without pivoting over a row range of a
+// global banded matrix.
+type bandFactor struct {
+	m, kl, ku int
+	width     int
+	data      []float64 // row-major working band
+	mult      []float64 // multipliers, row-major m×kl (l for rows below)
+}
+
+func factorBandNoPivot(a *mat.Banded, lo, hi int) (*bandFactor, error) {
+	kl, ku := a.KL(), a.KU()
+	m := hi - lo
+	f := &bandFactor{m: m, kl: kl, ku: ku, width: kl + ku + 1}
+	f.data = make([]float64, m*f.width)
+	f.mult = make([]float64, m*kl)
+	at := func(i, j int) float64 { return f.data[i*f.width+(j-i+kl)] }
+	set := func(i, j int, v float64) { f.data[i*f.width+(j-i+kl)] = v }
+	for i := 0; i < m; i++ {
+		glo, ghi := lo+i-kl, lo+i+ku
+		for gj := glo; gj <= ghi; gj++ {
+			if gj < lo || gj >= hi {
+				continue
+			}
+			set(i, gj-lo, a.At(lo+i, gj))
+		}
+	}
+	for k := 0; k < m; k++ {
+		piv := at(k, k)
+		if math.Abs(piv) < 1e-300 {
+			return nil, fmt.Errorf("%w: local band pivot %d", ErrSingular, k)
+		}
+		last := k + kl
+		if last >= m {
+			last = m - 1
+		}
+		hiCol := k + ku
+		if hiCol >= m {
+			hiCol = m - 1
+		}
+		for i := k + 1; i <= last; i++ {
+			l := at(i, k) / piv
+			f.mult[i*f.kl+(i-k-1)] = l
+			set(i, k, 0)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j <= hiCol && j <= i+ku; j++ {
+				set(i, j, at(i, j)-l*at(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve runs forward elimination with the stored multipliers and back
+// substitution; rhs is copied.
+func (f *bandFactor) solve(rhs []float64) []float64 {
+	x := mat.VecClone(rhs)
+	at := func(i, j int) float64 { return f.data[i*f.width+(j-i+f.kl)] }
+	for k := 0; k < f.m; k++ {
+		last := k + f.kl
+		if last >= f.m {
+			last = f.m - 1
+		}
+		for i := k + 1; i <= last; i++ {
+			x[i] -= f.mult[i*f.kl+(i-k-1)] * x[k]
+		}
+	}
+	for i := f.m - 1; i >= 0; i-- {
+		s := x[i]
+		hi := i + f.ku
+		if hi >= f.m {
+			hi = f.m - 1
+		}
+		for j := i + 1; j <= hi; j++ {
+			s -= at(i, j) * x[j]
+		}
+		x[i] = s / at(i, i)
+	}
+	return x
+}

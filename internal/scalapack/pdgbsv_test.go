@@ -1,0 +1,156 @@
+package scalapack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+func runPdgbsv(t *testing.T, band *mat.Banded, b []float64, ranks int) []float64 {
+	t.Helper()
+	w, err := mpi.NewWorld(ranks, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var x []float64
+	err = w.Run(func(p *mpi.Proc) error {
+		sol, err := Pdgbsv(p, p.World(), band, b)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			x = sol
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestPdgbsvMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ n, kl, ku, ranks int }{
+		{40, 1, 1, 1},
+		{40, 1, 1, 4},
+		{60, 2, 3, 4},
+		{61, 3, 2, 5}, // uneven blocks, kl > ku
+		{80, 4, 4, 6},
+		{50, 0, 2, 3}, // upper triangular band
+		{50, 2, 0, 3}, // lower triangular band
+	} {
+		band, err := mat.NewBandedDiagonallyDominant(tc.n, tc.kl, tc.ku, int64(tc.n+tc.ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, tc.n)
+		for i := range rhs {
+			rhs[i] = float64((i*7)%11) - 5
+		}
+		want, err := Dgbsv(band, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runPdgbsv(t, band, rhs, tc.ranks)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("%+v: x[%d] = %g, sequential %g", tc, i, got[i], want[i])
+			}
+		}
+		if rr := mat.RelativeResidual(band.Dense(), got, rhs); rr > 1e-11 {
+			t.Fatalf("%+v: residual %g", tc, rr)
+		}
+	}
+}
+
+func TestPdgbsvAllRanksGetSolution(t *testing.T) {
+	band, err := mat.NewBandedDiagonallyDominant(48, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := band.MulVec(make([]float64, 48))
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	w, err := mpi.NewWorld(4, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := make([][]float64, 4)
+	err = w.Run(func(p *mpi.Proc) error {
+		x, err := Pdgbsv(p, p.World(), band, rhs)
+		if err != nil {
+			return err
+		}
+		sols[p.Rank()] = x
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		for i := range sols[0] {
+			if sols[r][i] != sols[0][i] {
+				t.Fatalf("rank %d differs at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPdgbsvValidation(t *testing.T) {
+	band, err := mat.NewBandedDiagonallyDominant(12, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(4, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		// Blocks of 3 rows < kl+ku+1 = 5: must be rejected.
+		if _, err := Pdgbsv(p, p.World(), band, make([]float64, 12)); err == nil {
+			return errString("undersized blocks accepted")
+		}
+		if _, err := Pdgbsv(p, p.World(), band, make([]float64, 3)); err == nil {
+			return errString("short rhs accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPdgbsvLargeTridiagonal(t *testing.T) {
+	// A 2000-unknown tridiagonal Poisson-style system over 8 ranks.
+	n := 2000
+	band, err := mat.NewBanded(n, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		band.Set(i, i, 2.5)
+		if i > 0 {
+			band.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			band.Set(i, i+1, -1)
+		}
+	}
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = math.Sin(float64(i) / 50)
+	}
+	got := runPdgbsv(t, band, band.MulVec(x0), 8)
+	for i := range x0 {
+		if math.Abs(got[i]-x0[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want %g", i, got[i], x0[i])
+		}
+	}
+}

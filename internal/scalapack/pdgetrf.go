@@ -1,0 +1,181 @@
+package scalapack
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Factorization is a completed distributed LU factorisation P·A = L·U held
+// block-cyclically across a communicator. It can solve any number of
+// right-hand sides without refactorising (the pdgetrf/pdgetrs split of
+// ScaLAPACK's driver).
+type Factorization struct {
+	st *pdState
+}
+
+// Pdgetrf factorises A (square, identical on every rank) in place over
+// communicator c with partial pivoting. Every rank calls collectively; the
+// returned Factorization is rank-local state sharing the collective
+// protocol with its siblings.
+func Pdgetrf(p *mpi.Proc, c *mpi.Comm, a *mat.Dense, opts ParallelOptions) (*Factorization, error) {
+	if a == nil || a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("scalapack: pdgetrf needs a square matrix")
+	}
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := NewGrid(c.Size())
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	nb := opts.BlockSize
+	if nb <= 0 {
+		nb = DefaultBlockSize
+	}
+	if nb > n {
+		nb = n
+	}
+	if grid.Pr > (n+nb-1)/nb || grid.Pc > (n+nb-1)/nb {
+		return nil, fmt.Errorf("scalapack: grid %d×%d too large for %d blocks of %d",
+			grid.Pr, grid.Pc, (n+nb-1)/nb, nb)
+	}
+	if opts.ChargeCosts {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+	st, err := newPdState(p, c, a, nil, grid, me, nb)
+	if err != nil {
+		return nil, err
+	}
+	st.charge = opts.ChargeCosts
+	for k0 := 0; k0 < n; k0 += nb {
+		if err := st.panelStep(k0); err != nil {
+			return nil, fmt.Errorf("scalapack: panel at %d: %w", k0, err)
+		}
+	}
+	return &Factorization{st: st}, nil
+}
+
+// N returns the order of the factorised matrix.
+func (f *Factorization) N() int { return f.st.n }
+
+// Pivots returns the recorded row interchanges in elimination order.
+func (f *Factorization) Pivots() [][2]int {
+	out := make([][2]int, len(f.st.pivots))
+	copy(out, f.st.pivots)
+	return out
+}
+
+// Solve computes x with A·x = b using the stored factors (pdgetrs):
+// pivot replay, distributed blocked forward substitution with the
+// unit-lower factor, then the shared back substitution. Every rank of the
+// factorisation's communicator calls collectively with the same b.
+func (f *Factorization) Solve(p *mpi.Proc, b []float64) ([]float64, error) {
+	st := f.st
+	if len(b) != st.n {
+		return nil, fmt.Errorf("scalapack: rhs length %d, want %d", len(b), st.n)
+	}
+	if st.charge {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+	// Local copy of b for my process row, then pivot replay in
+	// elimination order (P·b).
+	local := make([]float64, len(st.myRows))
+	for li, gi := range st.myRows {
+		local[li] = b[gi]
+	}
+	saved := st.b
+	savedCarry := st.carryB
+	st.b, st.carryB = local, true
+	defer func() { st.b, st.carryB = saved, savedCarry }()
+	for _, pv := range st.pivots {
+		if pv[0] == pv[1] {
+			continue
+		}
+		if err := st.swapB(pv[0], pv[1]); err != nil {
+			return nil, err
+		}
+	}
+	y, err := st.forwardSubstitute()
+	if err != nil {
+		return nil, err
+	}
+	return st.backSubstitute(func(g, _ int) float64 { return y[g] })
+}
+
+// forwardSubstitute solves L·y = P·b block row by block row from the top
+// (unit-diagonal L below the diagonal of the factored matrix),
+// broadcasting each solved segment to the whole grid.
+func (st *pdState) forwardSubstitute() ([]float64, error) {
+	n, nb := st.n, st.nb
+	y := make([]float64, n)
+	nBlocks := (n + nb - 1) / nb
+	for bi := 0; bi < nBlocks; bi++ {
+		r0 := bi * nb
+		r1 := r0 + nb
+		if r1 > n {
+			r1 = n
+		}
+		kw := r1 - r0
+		prI := bi % st.grid.Pr
+		pcI := bi % st.grid.Pc
+		solver := st.grid.Rank(prI, pcI)
+
+		if st.pr == prI {
+			// Partial sums over my leading columns (strictly below-diagonal
+			// L entries live where global col < global row).
+			s := make([]float64, kw)
+			for t := 0; t < kw; t++ {
+				li, _ := st.localRow(r0 + t)
+				row := st.a.Row(li)
+				for lj, gj := range st.myCols {
+					if gj < r0 {
+						s[t] += row[lj] * y[gj]
+					}
+				}
+			}
+			st.chargeFlops(float64(2 * kw * len(st.myCols)))
+			total, err := st.p.AllreduceSum(st.rowComm, s)
+			if err != nil {
+				return nil, err
+			}
+			if st.pc == pcI {
+				seg := make([]float64, kw+1) // status + solution
+				for t := 0; t < kw; t++ {
+					li, _ := st.localRow(r0 + t)
+					row := st.a.Row(li)
+					v := st.b[li] - total[t]
+					for u := 0; u < t; u++ {
+						lu, ok := st.localCol(r0 + u)
+						if !ok {
+							return nil, fmt.Errorf("scalapack: L diagonal col %d not local", r0+u)
+						}
+						v -= row[lu] * seg[u+1]
+					}
+					seg[t+1] = v // unit diagonal
+				}
+				st.chargeFlops(float64(kw * kw))
+				got, err := st.p.Bcast(st.c, solver, seg)
+				if err != nil {
+					return nil, err
+				}
+				copy(y[r0:r1], got[1:])
+				continue
+			}
+		}
+		got, err := st.p.Bcast(st.c, solver, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != kw+1 {
+			return nil, fmt.Errorf("scalapack: forward payload %d, want %d", len(got), kw+1)
+		}
+		copy(y[r0:r1], got[1:])
+	}
+	return y, nil
+}

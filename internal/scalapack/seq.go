@@ -1,0 +1,104 @@
+package scalapack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrSingular reports a numerically singular matrix (zero pivot column
+// during partial pivoting).
+var ErrSingular = errors.New("scalapack: matrix is numerically singular")
+
+// Dgetrf computes an LU factorisation with partial pivoting in place:
+// A = P·L·U with unit-diagonal L stored below the diagonal. ipiv[k] is the
+// row swapped with row k at step k (LAPACK convention, 0-based).
+func Dgetrf(a *mat.Dense) (ipiv []int, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("scalapack: dgetrf needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	ipiv = make([]int, n)
+	for k := 0; k < n; k++ {
+		// Partial pivoting: the largest |A[i][k]|, i ≥ k, moves to the
+		// diagonal (§2.2: swap rows so A(i,i) is the largest in its column).
+		p, pv := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a.At(i, k)); v > pv {
+				p, pv = i, v
+			}
+		}
+		if pv == 0 {
+			return nil, fmt.Errorf("%w: pivot column %d", ErrSingular, k)
+		}
+		ipiv[k] = p
+		a.SwapRows(k, p)
+		akk := a.At(k, k)
+		rowK := a.Row(k)
+		for i := k + 1; i < n; i++ {
+			row := a.Row(i)
+			l := row[k] / akk
+			row[k] = l
+			if l != 0 {
+				for j := k + 1; j < n; j++ {
+					row[j] -= l * rowK[j]
+				}
+			}
+		}
+	}
+	return ipiv, nil
+}
+
+// Dgetrs solves A·x = b given the Dgetrf output (LU and ipiv).
+func Dgetrs(lu *mat.Dense, ipiv []int, b []float64) ([]float64, error) {
+	n := lu.Rows()
+	if len(ipiv) != n || len(b) != n {
+		return nil, fmt.Errorf("scalapack: dgetrs size mismatch: n=%d ipiv=%d b=%d", n, len(ipiv), len(b))
+	}
+	x := mat.VecClone(b)
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := ipiv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := lu.Row(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero U diagonal %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Dgesv solves A·x = b by Gaussian elimination with partial pivoting,
+// leaving the inputs untouched — the sequential baseline of the study.
+func Dgesv(sys *mat.System) ([]float64, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	lu := sys.A.Clone()
+	ipiv, err := Dgetrf(lu)
+	if err != nil {
+		return nil, err
+	}
+	return Dgetrs(lu, ipiv, sys.B)
+}

@@ -1,0 +1,100 @@
+package scalapack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// LU is a stepwise sequential LU factorisation with partial pivoting —
+// the column-at-a-time view of Dgetrf, exposed so instrumentation (power
+// tracing, progress reporting) can interleave with the elimination the
+// way ime.Table does for the Inhibition Method.
+type LU struct {
+	a    *mat.Dense
+	ipiv []int
+	k    int
+}
+
+// NewLU starts a factorisation of a copy of a.
+func NewLU(a *mat.Dense) (*LU, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("scalapack: stepped LU needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	return &LU{a: a.Clone(), ipiv: make([]int, n)}, nil
+}
+
+// N returns the order.
+func (lu *LU) N() int { return lu.a.Rows() }
+
+// Remaining returns how many elimination columns are left.
+func (lu *LU) Remaining() int { return lu.a.Rows() - lu.k }
+
+// StepFlops returns the arithmetic cost of the next Step — what a power
+// tracer charges before calling it.
+func (lu *LU) StepFlops() float64 {
+	r := float64(lu.a.Rows() - lu.k - 1)
+	if r < 0 {
+		return 0
+	}
+	return 2*r*r + 2*r
+}
+
+// Step eliminates one column.
+func (lu *LU) Step() error {
+	n := lu.a.Rows()
+	if lu.k >= n {
+		return errors.New("scalapack: factorisation already complete")
+	}
+	k := lu.k
+	p, pv := k, math.Abs(lu.a.At(k, k))
+	for i := k + 1; i < n; i++ {
+		if v := math.Abs(lu.a.At(i, k)); v > pv {
+			p, pv = i, v
+		}
+	}
+	if pv == 0 {
+		return fmt.Errorf("%w: pivot column %d", ErrSingular, k)
+	}
+	lu.ipiv[k] = p
+	lu.a.SwapRows(k, p)
+	akk := lu.a.At(k, k)
+	rowK := lu.a.Row(k)
+	for i := k + 1; i < n; i++ {
+		row := lu.a.Row(i)
+		l := row[k] / akk
+		row[k] = l
+		if l != 0 {
+			for j := k + 1; j < n; j++ {
+				row[j] -= l * rowK[j]
+			}
+		}
+	}
+	lu.k++
+	return nil
+}
+
+// Factors returns the packed LU matrix and pivots after completion.
+func (lu *LU) Factors() (*mat.Dense, []int, error) {
+	if lu.k != lu.a.Rows() {
+		return nil, nil, fmt.Errorf("scalapack: %d columns remain", lu.Remaining())
+	}
+	return lu.a, lu.ipiv, nil
+}
+
+// Solve finishes any remaining steps and solves A·x = b.
+func (lu *LU) Solve(b []float64) ([]float64, error) {
+	for lu.Remaining() > 0 {
+		if err := lu.Step(); err != nil {
+			return nil, err
+		}
+	}
+	packed, ipiv, err := lu.Factors()
+	if err != nil {
+		return nil, err
+	}
+	return Dgetrs(packed, ipiv, b)
+}

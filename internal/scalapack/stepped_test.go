@@ -1,0 +1,114 @@
+package scalapack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSteppedLUMatchesDgetrf(t *testing.T) {
+	sys := mat.NewRandomSystem(20, 6)
+	lu, err := NewLU(sys.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lu.N() != 20 || lu.Remaining() != 20 {
+		t.Fatalf("fresh state: N=%d remaining=%d", lu.N(), lu.Remaining())
+	}
+	if _, _, err := lu.Factors(); err == nil {
+		t.Fatal("Factors before completion accepted")
+	}
+	steps := 0
+	for lu.Remaining() > 0 {
+		if lu.StepFlops() < 0 {
+			t.Fatal("negative step cost")
+		}
+		if err := lu.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != 20 {
+		t.Fatalf("%d steps, want 20", steps)
+	}
+	if err := lu.Step(); err == nil {
+		t.Fatal("step past completion accepted")
+	}
+	packed, ipiv, err := lu.Factors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree exactly with the one-shot factorisation.
+	ref := sys.A.Clone()
+	refPiv, err := Dgetrf(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packed.EqualApprox(ref, 0) {
+		t.Fatal("stepped LU differs from Dgetrf")
+	}
+	for i := range ipiv {
+		if ipiv[i] != refPiv[i] {
+			t.Fatalf("pivot %d: %d vs %d", i, ipiv[i], refPiv[i])
+		}
+	}
+}
+
+func TestSteppedLUSolve(t *testing.T) {
+	sys := mat.NewRandomSystem(16, 2)
+	lu, err := NewLU(sys.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partially step, then let Solve finish.
+	for i := 0; i < 5; i++ {
+		if err := lu.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, err := lu.Solve(sys.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := mat.RelativeResidual(sys.A, x, sys.B); rr > 1e-12 {
+		t.Fatalf("residual %g", rr)
+	}
+}
+
+func TestSteppedLUValidation(t *testing.T) {
+	if _, err := NewLU(mat.New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	singular, _ := mat.NewFromData(2, 2, []float64{1, 2, 2, 4})
+	lu, err := NewLU(singular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lu.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lu.Step(); err == nil {
+		t.Fatal("singular trailing column accepted")
+	}
+}
+
+func TestStepFlopsSum(t *testing.T) {
+	// Σ StepFlops ≈ 2/3·n³ leading term.
+	n := 64
+	lu, err := NewLU(mat.NewDiagonallyDominant(n, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for lu.Remaining() > 0 {
+		sum += lu.StepFlops()
+		if err := lu.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 2.0 / 3.0 * float64(n*n*n)
+	if math.Abs(sum-want)/want > 0.05 {
+		t.Fatalf("Σ step flops = %g, want ≈%g", sum, want)
+	}
+}

@@ -1,0 +1,158 @@
+package slurm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+func newSched(t *testing.T) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSubmitGrantsContiguousNodes(t *testing.T) {
+	s := newSched(t)
+	alloc, err := s.Submit(JobSpec{Name: "ime", Ranks: 144, Placement: cluster.FullLoad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Config.Nodes != 3 || len(alloc.Nodes) != 3 {
+		t.Fatalf("allocation = %+v", alloc)
+	}
+	for i, id := range alloc.Nodes {
+		if id != i {
+			t.Fatalf("nodes %v not the lowest idle block", alloc.Nodes)
+		}
+	}
+	if s.FreeNodes() != 3188-3 {
+		t.Fatalf("free nodes = %d", s.FreeNodes())
+	}
+	if got := s.Running(); len(got) != 1 || got[0] != alloc.JobID {
+		t.Fatalf("running = %v", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newSched(t)
+	if _, err := s.Submit(JobSpec{Ranks: 100, Placement: cluster.FullLoad}); err == nil {
+		t.Error("non-divisible rank count accepted")
+	}
+	if _, err := s.Submit(JobSpec{Ranks: 48, Placement: cluster.FullLoad, LeakySocketPinning: 2}); err == nil {
+		t.Error("leak fraction > 1 accepted")
+	}
+	if _, err := NewScheduler(nil); err == nil {
+		t.Error("nil machine accepted")
+	}
+}
+
+func TestReleaseRecyclesNodes(t *testing.T) {
+	s := newSched(t)
+	a, err := s.Submit(JobSpec{Ranks: 576, Placement: cluster.FullLoad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(a.JobID); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeNodes() != 3188 {
+		t.Fatalf("free nodes after release = %d", s.FreeNodes())
+	}
+	if err := s.Release(a.JobID); err == nil {
+		t.Fatal("double release accepted")
+	}
+	// The freed nodes are granted again.
+	b, err := s.Submit(JobSpec{Ranks: 576, Placement: cluster.FullLoad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Nodes[0] != 0 {
+		t.Fatalf("recycled allocation starts at node %d", b.Nodes[0])
+	}
+}
+
+func TestMachineExhaustion(t *testing.T) {
+	small := &cluster.MachineSpec{
+		Name: "tiny", TotalNodes: 4, SocketsPerNode: 2, CoresPerSocket: 24,
+		MemPerNodeGB: 192, ClockGHz: 2.1,
+	}
+	s, err := NewScheduler(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Ranks: 3 * 48, Placement: cluster.FullLoad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Ranks: 2 * 48, Placement: cluster.FullLoad}); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	// One more node still fits.
+	if _, err := s.Submit(JobSpec{Ranks: 48, Placement: cluster.FullLoad}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeakySocketPinning reproduces the §5.3 anomaly: a one-socket
+// directive with leaky enforcement shows ranks on the "idle" socket.
+func TestLeakySocketPinning(t *testing.T) {
+	s := newSched(t)
+	clean, err := s.Submit(JobSpec{Ranks: 144, Placement: cluster.HalfLoadOneSocket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Config.RanksSocket1 != 0 {
+		t.Fatal("clean pinning leaked")
+	}
+	leaky, err := s.Submit(JobSpec{
+		Ranks: 144, Placement: cluster.HalfLoadOneSocket, LeakySocketPinning: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaky.Config.RanksSocket1 != 6 || leaky.Config.RanksSocket0 != 18 {
+		t.Fatalf("leaky split = %d/%d, want 18/6",
+			leaky.Config.RanksSocket0, leaky.Config.RanksSocket1)
+	}
+	// Total ranks per node unchanged.
+	if leaky.Config.RanksSocket0+leaky.Config.RanksSocket1 != 24 {
+		t.Fatal("leak changed the rank count")
+	}
+	// Balanced placements have nothing to leak.
+	two, err := s.Submit(JobSpec{
+		Ranks: 144, Placement: cluster.HalfLoadTwoSockets, LeakySocketPinning: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Config.RanksSocket0 != 12 || two.Config.RanksSocket1 != 12 {
+		t.Fatal("balanced placement perturbed")
+	}
+}
+
+func TestLeakConservesRanksQuick(t *testing.T) {
+	s := newSched(t)
+	f := func(frac uint8) bool {
+		leak := float64(frac%101) / 100
+		a, err := s.Submit(JobSpec{
+			Ranks: 144, Placement: cluster.HalfLoadOneSocket, LeakySocketPinning: leak,
+		})
+		if err != nil {
+			return false
+		}
+		defer func() {
+			if err := s.Release(a.JobID); err != nil {
+				panic(err)
+			}
+		}()
+		return a.Config.RanksSocket0+a.Config.RanksSocket1 == 24 &&
+			a.Config.RanksSocket0 >= 0 && a.Config.RanksSocket1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
