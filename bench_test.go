@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ime"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/monitor"
 	"repro/internal/mpi"
@@ -417,6 +418,100 @@ func BenchmarkAnalyticCell(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := perfmodel.Run(perfmodel.IMe, 34560, cfg, perfmodel.Params{Overlap: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel micro-benchmarks ---
+//
+// Blocked vs scalar compute kernels at the sizes the acceptance gate
+// tracks (n=256, n=1024); gflops is the headline metric and the blocked/
+// scalar ratio is the wall-clock speedup. BENCH_kernels.json records the
+// baseline of this machine.
+
+// fillKernelBench fills x with a deterministic LCG stream in [-1, 1).
+func fillKernelBench(x []float64, seed uint64) {
+	s := seed
+	for i := range x {
+		s = s*2862933555777941757 + 3037000493
+		x[i] = float64(int64(s>>21)%2000-1000) / 1024
+	}
+}
+
+type gemmFunc func(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int)
+
+func benchmarkGemm(b *testing.B, n int, f gemmFunc) {
+	a := make([]float64, n*n)
+	bm := make([]float64, n*n)
+	c := make([]float64, n*n)
+	fillKernelBench(a, 1)
+	fillKernelBench(bm, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(n, n, n, 1, a, n, bm, n, c, n)
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkKernelGemmBlocked(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkGemm(b, n, kernel.Gemm) })
+	}
+}
+
+func BenchmarkKernelGemmScalar(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkGemm(b, n, kernel.GemmScalar) })
+	}
+}
+
+// benchmarkTrailing measures the panel-width rank-kw update of the
+// ScaLAPACK trailing submatrix: C -= L·U with L n×kw and U kw×n.
+func benchmarkTrailing(b *testing.B, n int, f gemmFunc) {
+	kw := scalapack.DefaultBlockSize
+	l := make([]float64, n*kw)
+	u := make([]float64, kw*n)
+	c := make([]float64, n*n)
+	fillKernelBench(l, 3)
+	fillKernelBench(u, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(n, n, kw, -1, l, kw, u, n, c, n)
+	}
+	flops := 2 * float64(kw) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkKernelTrailingBlocked(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkTrailing(b, n, kernel.Gemm) })
+	}
+}
+
+func BenchmarkKernelTrailingScalar(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkTrailing(b, n, kernel.GemmScalar) })
+	}
+}
+
+// BenchmarkSolveIMeParallelWall measures the real (wall-clock) cost of a
+// full SolveParallel world — the solver-level view of the kernel work.
+func BenchmarkSolveIMeParallelWall(b *testing.B) {
+	sys := mat.NewRandomSystem(512, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, err := mpi.NewWorld(4, mpi.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(func(p *mpi.Proc) error {
+			_, err := ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{})
+			return err
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

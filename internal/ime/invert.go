@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
 )
 
@@ -29,11 +30,7 @@ func InvertSequential(a *mat.Dense) (*mat.Dense, error) {
 			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
 		}
 		inv := 1 / d
-		src := a.Row(i)
-		dst := g.Row(i)
-		for j, v := range src {
-			dst[j] = v * inv
-		}
+		kernel.ScaledCopy(inv, a.Row(i), g.Row(i))
 		e.Set(i, i, inv)
 	}
 	if err := reduceWithLeftBlock(g, e, n); err != nil {
@@ -56,29 +53,25 @@ func reduceWithLeftBlock(g, e *mat.Dense, n int) error {
 		// Normalise the pivot row across both blocks. G's row is sparse
 		// beyond column l (higher pivots already eliminated it); E's fills
 		// from column l−1 upward as levels complete.
-		for j := 0; j < l; j++ {
-			grow[j] *= inv
-		}
-		for j := l - 1; j < n; j++ {
-			erow[j] *= inv
-		}
-		for i := 0; i < n; i++ {
-			if i == l-1 {
-				continue
+		kernel.Scale(inv, grow[:l])
+		kernel.Scale(inv, erow[l-1:])
+		// Row eliminations are independent, so they fan out across the
+		// worker pool; each row's fused AXPYs are bit-identical to the
+		// scalar sweep.
+		kernel.ParallelFor(n, 1+(1<<15)/(2*n+1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == l-1 {
+					continue
+				}
+				gi := g.Row(i)
+				m := gi[l-1]
+				if m == 0 {
+					continue
+				}
+				kernel.Axpy(-m, grow[:l], gi[:l])
+				kernel.Axpy(-m, erow[l-1:], e.Row(i)[l-1:])
 			}
-			gi := g.Row(i)
-			m := gi[l-1]
-			if m == 0 {
-				continue
-			}
-			for j := 0; j < l; j++ {
-				gi[j] -= m * grow[j]
-			}
-			ei := e.Row(i)
-			for j := l - 1; j < n; j++ {
-				ei[j] -= m * erow[j]
-			}
-		}
+		})
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
 )
@@ -47,23 +48,30 @@ func solveOverlapped(p *mpi.Proc, c *mpi.Comm, sys *mat.System, st *parallelStat
 	n := st.n
 	ranks := st.ranks
 
-	// Init broadcasts as in the synchronous variant.
+	// Init broadcasts as in the synchronous variant; transport buffers go
+	// straight back to the pool.
 	h0, err := p.Bcast(c, masterRank, st.h)
 	if err != nil {
 		return nil, err
 	}
-	if me != masterRank {
-		st.h = h0
+	if me != masterRank && len(h0) == len(st.h) {
+		copy(st.h, h0)
 	}
+	p.Recycle(h0)
 	var initCol []float64
 	if me == masterRank {
-		initCol = make([]float64, n)
+		initCol = mpi.GetBuf(n)
 		for i := 0; i < n; i++ {
 			initCol[i] = sys.A.At(i, n-1) * (1 / sys.A.At(i, i))
 		}
 	}
-	if _, err := p.Bcast(c, masterRank, initCol); err != nil {
+	got, err := p.Bcast(c, masterRank, initCol)
+	if err != nil {
 		return nil, err
+	}
+	p.Recycle(got)
+	if me == masterRank {
+		mpi.PutBuf(initCol)
 	}
 
 	// Level n's payload has no earlier level to hide behind: its owner
@@ -92,11 +100,12 @@ func shipPivot(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int) error {
 	if math.Abs(piv) < pivotTolerance {
 		return fmt.Errorf("%w: pivot %g at level %d", ErrSingular, piv, l)
 	}
-	inv := 1 / piv
-	for j := 0; j < l; j++ {
-		row[j] *= inv
-	}
-	payload := make([]float64, l+1)
+	kernel.Scale(1/piv, row[:l])
+	// The payload must survive until level l is processed while level l+1's
+	// payload may still be live, so it gets its own pooled buffer (not a
+	// shared scratch); overlappedLevel recycles it. Isend copies, so the
+	// buffer stays exclusively owned.
+	payload := mpi.GetBuf(l + 1)
 	copy(payload, row[:l])
 	payload[l] = piv
 	for r := 0; r < st.ranks; r++ {
@@ -135,15 +144,13 @@ func overlappedLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge 
 	}
 	pr, piv := payload[:l], payload[l]
 
-	ms := make([]float64, st.hi-st.lo)
+	ms := st.msScratch()
 	updateRow := func(i int) {
 		row := st.row(i)
 		m := row[l-1]
 		ms[i-st.lo] = m
 		if m != 0 {
-			for j := 0; j < l; j++ {
-				row[j] -= m * pr[j]
-			}
+			kernel.Axpy(-m, pr, row[:l])
 		}
 	}
 
@@ -156,12 +163,23 @@ func overlappedLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge 
 			return err
 		}
 	}
-	for i := st.lo; i < st.hi; i++ {
-		if i == l-1 || (l > 1 && i == nextPivot) {
-			continue
+	// Bulk sweep over the remaining owned rows: independent per-row AXPYs
+	// fanned across the worker pool, bit-identical to the serial loop (ms
+	// is scratch, so the skipped pivot row must be cleared explicitly).
+	grain := 1 + (1<<15)/(2*l+1)
+	kernel.ParallelFor(st.hi-st.lo, grain, func(rlo, rhi int) {
+		for ii := rlo; ii < rhi; ii++ {
+			i := st.lo + ii
+			if i == l-1 {
+				ms[ii] = 0
+				continue
+			}
+			if l > 1 && i == nextPivot {
+				continue // already updated by the lookahead
+			}
+			updateRow(i)
 		}
-		updateRow(i)
-	}
+	})
 	if st.cs != nil {
 		st.cs.step(l, pr, piv)
 	}
@@ -169,8 +187,12 @@ func overlappedLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge 
 		flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
 		p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
 	}
+	// pr is dead past this point; both the owner's pooled pendingPivot and
+	// the received transport copy are exclusively owned here.
+	p.Recycle(payload)
 
-	// Multiplier chunks to the master, non-blocking on the slave side.
+	// Multiplier chunks to the master, non-blocking on the slave side
+	// (Isend copies, so the ms scratch is free to be reused next level).
 	if st.me != masterRank {
 		if _, err := p.Isend(c, masterRank, chunkTag(l), ms); err != nil {
 			return err
@@ -197,6 +219,9 @@ func overlappedLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge 
 				continue
 			}
 			st.h[i] -= chunk[i-rlo] * hl
+		}
+		if r != masterRank {
+			p.Recycle(chunk)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
 )
@@ -108,18 +109,24 @@ func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptio
 	if err != nil {
 		return nil, err
 	}
-	if me != masterRank {
-		st.h = h0
+	if me != masterRank && len(h0) == len(st.h) {
+		copy(st.h, h0)
 	}
+	p.Recycle(h0)
 	var initCol []float64
 	if me == masterRank {
-		initCol = make([]float64, n)
+		initCol = mpi.GetBuf(n)
 		for i := 0; i < n; i++ {
 			initCol[i] = sys.A.At(i, n-1) * (1 / sys.A.At(i, i))
 		}
 	}
-	if _, err := p.Bcast(c, masterRank, initCol); err != nil {
+	got, err := p.Bcast(c, masterRank, initCol)
+	if err != nil {
 		return nil, err
+	}
+	p.Recycle(got)
+	if me == masterRank {
+		mpi.PutBuf(initCol)
 	}
 
 	for l := n; l >= 1; l-- {
@@ -154,6 +161,21 @@ type parallelState struct {
 	// pendingPivot stashes the payload the overlapped variant shipped
 	// early, for the owner's own consumption at the next level.
 	pendingPivot []float64
+	// ms is the per-level multiplier scratch (len hi-lo), reused across
+	// levels instead of being reallocated; the collectives copy it before
+	// it is overwritten again.
+	ms []float64
+	// pivScratch is the owner's reusable pivot-payload build buffer.
+	pivScratch []float64
+}
+
+// msScratch returns the reusable multiplier buffer, allocating it on
+// first use (covers both the shared-input and scattered constructors).
+func (st *parallelState) msScratch() []float64 {
+	if st.ms == nil {
+		st.ms = make([]float64, st.hi-st.lo)
+	}
+	return st.ms
 }
 
 func newParallelState(sys *mat.System, me, ranks int, opts ParallelOptions) (*parallelState, error) {
@@ -167,11 +189,7 @@ func newParallelState(sys *mat.System, me, ranks int, opts ParallelOptions) (*pa
 			return nil, fmt.Errorf("%w: diagonal %d is %g", ErrSingular, i, d)
 		}
 		row := make([]float64, n)
-		src := sys.A.Row(i)
-		inv := 1 / d
-		for j, v := range src {
-			row[j] = v * inv
-		}
+		kernel.ScaledCopy(1/d, sys.A.Row(i), row)
 		st.rows[i-lo] = row
 	}
 	st.h = make([]float64, n)
@@ -199,17 +217,21 @@ func (st *parallelState) row(i int) []float64 { return st.rows[i-st.lo] }
 // solveLevel runs one level of the distributed reduction.
 func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool) error {
 	n := st.n
-	// (1) master broadcasts h (the paper's per-level h share).
+	// (1) master broadcasts h (the paper's per-level h share). The local
+	// copy lives in a stable buffer; the transport buffer goes back to
+	// the pool immediately.
 	h, err := p.Bcast(c, masterRank, st.h)
 	if err != nil {
 		return err
 	}
-	if st.me != masterRank {
-		st.h = h
+	if st.me != masterRank && len(h) == len(st.h) {
+		copy(st.h, h)
 	}
+	p.Recycle(h)
 
 	// (2) pivot-row broadcast by its owner: normalised effective segment
-	// plus the pre-normalisation pivot value.
+	// plus the pre-normalisation pivot value. The owner assembles it in a
+	// scratch buffer reused across levels.
 	owner := OwnerOf(n, st.ranks, l-1)
 	var payload []float64
 	if st.me == owner {
@@ -218,13 +240,10 @@ func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool)
 		if math.Abs(piv) < pivotTolerance {
 			return fmt.Errorf("%w: pivot %g", ErrSingular, piv)
 		}
-		inv := 1 / piv
-		for j := 0; j < l; j++ {
-			row[j] *= inv
-		}
-		payload = make([]float64, l+1)
-		copy(payload, row[:l])
-		payload[l] = piv
+		kernel.Scale(1/piv, row[:l])
+		payload = append(st.pivScratch[:0], row[:l]...)
+		payload = append(payload, piv)
+		st.pivScratch = payload
 	}
 	payload, err = p.Bcast(c, owner, payload)
 	if err != nil {
@@ -236,21 +255,28 @@ func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool)
 	pr, piv := payload[:l], payload[l]
 
 	// (3) fundamental formula on the owned block; collect the modified
-	// last-row (multiplier) entries.
-	ms := make([]float64, st.hi-st.lo)
-	for i := st.lo; i < st.hi; i++ {
-		if i == l-1 {
-			continue
-		}
-		row := st.row(i)
-		m := row[l-1]
-		ms[i-st.lo] = m
-		if m != 0 {
-			for j := 0; j < l; j++ {
-				row[j] -= m * pr[j]
+	// last-row (multiplier) entries. Rows update independently, so they
+	// fan out across the worker pool with per-row arithmetic — and thus
+	// results — bit-identical to the sequential sweep. Only real
+	// wall-clock changes; the virtual-time charge below stays the
+	// published LevelFlops closed form.
+	ms := st.msScratch()
+	grain := 1 + (1<<15)/(2*l+1)
+	kernel.ParallelFor(st.hi-st.lo, grain, func(rlo, rhi int) {
+		for ii := rlo; ii < rhi; ii++ {
+			i := st.lo + ii
+			if i == l-1 {
+				ms[ii] = 0
+				continue
+			}
+			row := st.rows[ii]
+			m := row[l-1]
+			ms[ii] = m
+			if m != 0 {
+				kernel.Axpy(-m, pr, row[:l])
 			}
 		}
-	}
+	})
 	if st.cs != nil {
 		st.cs.step(l, pr, piv)
 	}
@@ -280,6 +306,12 @@ func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool)
 				st.h[i] -= chunk[i-rlo] * hl
 			}
 		}
+		for _, chunk := range chunks {
+			p.Recycle(chunk)
+		}
 	}
+	// Every rank holds a pooled transport buffer here — Bcast returns a
+	// private copy even at the root, so this never aliases pivScratch.
+	p.Recycle(payload)
 	return nil
 }

@@ -1,0 +1,100 @@
+// Package kernel provides the cache-blocked, multicore float64 compute
+// kernels the solvers' hot loops run on: a tiled rank-k update / GEMM,
+// fused row-AXPY, scaled copy, dot products and a matrix-vector product,
+// plus a process-wide worker pool sized by GOMAXPROCS that fans heavy
+// updates out across real cores.
+//
+// The kernels change *wall-clock* time only. Simulated virtual time and
+// energy are charged analytically (ime.LevelFlops, scalapack flop counts)
+// by the callers, so every figure and duration the reproduction reports is
+// unaffected by how fast the real hardware executes the arithmetic — see
+// DESIGN.md, "Real parallelism vs. virtual time".
+package kernel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pool is the process-wide worker pool. All simulated MPI ranks share it:
+// each rank is a goroutine, and whichever ranks are executing a heavy
+// kernel at the same moment compete for the same physical cores, exactly
+// as co-scheduled processes on a node would.
+var (
+	poolOnce    sync.Once
+	poolWorkers int
+	poolJobs    chan func()
+)
+
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0)
+	if poolWorkers <= 1 {
+		return
+	}
+	// A deep buffer lets many ranks enqueue chunks without blocking each
+	// other; workers never block on other jobs, so the pool cannot
+	// deadlock.
+	poolJobs = make(chan func(), 4*poolWorkers)
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			for job := range poolJobs {
+				job()
+			}
+		}()
+	}
+}
+
+// Workers returns the size of the process-wide pool (GOMAXPROCS at first
+// use).
+func Workers() int {
+	poolOnce.Do(startPool)
+	if poolWorkers < 1 {
+		return 1
+	}
+	return poolWorkers
+}
+
+// ParallelFor executes fn over the index range [0,n), split into at most
+// Workers() contiguous spans of at least grain indices each. The calling
+// goroutine runs the last span itself and waits for the rest, so the call
+// returns only when the whole range is done. Ranges smaller than two
+// grains run inline with no synchronisation at all.
+//
+// fn must be safe to run concurrently on disjoint spans; spans never
+// overlap and cover [0,n) exactly once.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	poolOnce.Do(startPool)
+	if grain < 1 {
+		grain = 1
+	}
+	spans := n / grain
+	if spans > poolWorkers {
+		spans = poolWorkers
+	}
+	if spans <= 1 || poolJobs == nil {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	span := n / spans
+	rem := n % spans
+	lo := 0
+	for s := 0; s < spans-1; s++ {
+		sz := span
+		if s < rem {
+			sz++
+		}
+		l, h := lo, lo+sz
+		lo = h
+		wg.Add(1)
+		poolJobs <- func() {
+			defer wg.Done()
+			fn(l, h)
+		}
+	}
+	fn(lo, n)
+	wg.Wait()
+}

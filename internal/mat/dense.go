@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/kernel"
 )
 
 // Dense is a dense row-major matrix with contiguous backing storage.
@@ -90,23 +92,39 @@ func (m *Dense) Row(i int) []float64 {
 
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
+	return m.CopyColInto(make([]float64, m.rows), j)
+}
+
+// CopyColInto copies column j into dst (len must equal Rows) and returns
+// dst. Hot loops use it to read columns without allocating; the walk is a
+// single strided pointer advance rather than a multiply per row.
+func (m *Dense) CopyColInto(dst []float64, j int) []float64 {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("mat: col %d out of bounds %d×%d", j, m.rows, m.cols))
 	}
-	out := make([]float64, m.rows)
-	for i := range out {
-		out[i] = m.data[i*m.stride+j]
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: CopyColInto length %d != rows %d", len(dst), m.rows))
 	}
-	return out
+	idx := j
+	for i := range dst {
+		dst[i] = m.data[idx]
+		idx += m.stride
+	}
+	return dst
 }
 
 // SetCol overwrites column j with v (len must equal Rows).
 func (m *Dense) SetCol(j int, v []float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of bounds %d×%d", j, m.rows, m.cols))
+	}
 	if len(v) != m.rows {
 		panic(fmt.Sprintf("mat: SetCol length %d != rows %d", len(v), m.rows))
 	}
-	for i, x := range v {
-		m.data[i*m.stride+j] = x
+	idx := j
+	for _, x := range v {
+		m.data[idx] = x
+		idx += m.stride
 	}
 }
 
@@ -118,6 +136,11 @@ func (m *Dense) Data() ([]float64, error) {
 	}
 	return m.data, nil
 }
+
+// Raw returns the backing slice starting at element (0,0) together with
+// the row stride, for strided-kernel consumers (internal/kernel). The
+// slice aliases the matrix; it works for views as well as owned storage.
+func (m *Dense) Raw() (data []float64, stride int) { return m.data, m.stride }
 
 // Clone returns a deep, contiguous copy of m.
 func (m *Dense) Clone() *Dense {
@@ -153,42 +176,25 @@ func (m *Dense) SwapRows(i, k int) {
 	}
 }
 
-// MulVec returns A·x for x of length Cols.
+// MulVec returns A·x for x of length Cols. Rows fan out across the
+// process-wide kernel pool with an unrolled dot product.
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mat: MulVec length %d != cols %d", len(x), m.cols))
 	}
 	y := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, a := range row {
-			s += a * x[j]
-		}
-		y[i] = s
-	}
+	kernel.MatVec(m.rows, m.cols, m.data, m.stride, x, y)
 	return y
 }
 
-// Mul returns the matrix product A·B.
+// Mul returns the matrix product A·B, computed by the cache-blocked
+// multicore GEMM in internal/kernel.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
-			}
-		}
-	}
+	kernel.Gemm(m.rows, b.cols, m.cols, 1, m.data, m.stride, b.data, b.stride, out.data, out.stride)
 	return out
 }
 

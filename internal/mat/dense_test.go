@@ -226,3 +226,77 @@ func TestStringElision(t *testing.T) {
 		t.Fatalf("big matrix render = %q", got)
 	}
 }
+
+func TestCopyColIntoStridedView(t *testing.T) {
+	m := New(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.Slice(1, 4, 2, 5) // 3×3 view, stride 5 ≠ cols 3
+	dst := make([]float64, 3)
+	got := v.CopyColInto(dst, 1)
+	if &got[0] != &dst[0] {
+		t.Fatal("CopyColInto must return dst")
+	}
+	for i, want := range []float64{13, 23, 33} {
+		if got[i] != want {
+			t.Fatalf("col[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	v.SetCol(0, []float64{-1, -2, -3})
+	if m.At(1, 2) != -1 || m.At(3, 2) != -3 {
+		t.Fatal("SetCol on a view must write through the stride")
+	}
+	if m.At(1, 1) != 11 || m.At(1, 3) != 13 {
+		t.Fatal("SetCol on a view must not touch neighbouring columns")
+	}
+}
+
+// TestMulMatchesNaive pins the blocked-kernel wiring of Mul: odd shapes
+// (tail rows/cols, k spanning kernel panels) against the scalar triple
+// loop, including strided views of both operands.
+func TestMulMatchesNaive(t *testing.T) {
+	const m, k, n = 37, 61, 29
+	a := New(m, k)
+	b := New(k, n)
+	s := uint64(42)
+	fill := func(d *Dense) {
+		for i := 0; i < d.Rows(); i++ {
+			row := d.Row(i)
+			for j := range row {
+				s = s*6364136223846793005 + 1442695040888963407
+				row[j] = float64(int64(s>>33)%1000-500) / 256
+			}
+		}
+	}
+	fill(a)
+	fill(b)
+	want := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for t := 0; t < k; t++ {
+				sum += a.At(i, t) * b.At(t, j)
+			}
+			want.Set(i, j, sum)
+		}
+	}
+	if got := a.Mul(b); !got.EqualApprox(want, 1e-12) {
+		t.Fatal("Mul deviates from the naive product")
+	}
+	// Strided views: interior blocks of padded parents.
+	ap := New(m+4, k+4)
+	bp := New(k+4, n+4)
+	for i := 0; i < m; i++ {
+		copy(ap.Slice(2, m+2, 2, k+2).Row(i), a.Row(i))
+	}
+	for i := 0; i < k; i++ {
+		copy(bp.Slice(1, k+1, 3, n+3).Row(i), b.Row(i))
+	}
+	got := ap.Slice(2, m+2, 2, k+2).Mul(bp.Slice(1, k+1, 3, n+3))
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("Mul on strided views deviates from the naive product")
+	}
+}

@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Payload buffer pool. Every simulated message used to allocate a fresh
+// copy of its payload; at one h-broadcast plus one pivot broadcast plus
+// one gather per level, a single solve produced O(n²) garbage per rank.
+// The pool recycles transport buffers across levels, worlds and ranks:
+// send-side copies draw from it, and consumers that know a received
+// buffer is dead hand it back via Proc.Recycle.
+//
+// Buffers are kept in power-of-two size classes so a recycled buffer can
+// serve any request up to its capacity. sync.Pool keeps the whole scheme
+// race-free and lets the GC drain it under memory pressure.
+
+// maxPoolClass bounds pooled capacity at 1<<maxPoolClass float64 elements
+// (8 MiB); larger payloads go straight to the allocator and the GC.
+const maxPoolClass = 20
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// GetBuf returns a length-n buffer, reusing pooled storage of n's size
+// class when available. Contents are unspecified; callers must overwrite
+// every element before reading.
+func GetBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c > maxPoolClass {
+		return make([]float64, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutBuf hands a buffer back to the pool. The caller must hold the only
+// live reference — in particular, never recycle a sub-slice of a buffer
+// whose other parts are still in use — and must not touch buf afterwards.
+// Buffers of any origin and capacity are accepted; oversized ones are
+// dropped to the GC.
+func PutBuf(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(buf))) - 1 // floor(log2 cap): cap ≥ 1<<c serves class c
+	if c > maxPoolClass {
+		return
+	}
+	bufPools[c].Put(buf[:0:cap(buf)])
+}
+
+// Recycle returns a received payload (or a collective's result) to the
+// shared buffer pool once this rank is done with it. Recycling is an
+// optional optimisation: buffers that are simply dropped are garbage
+// collected as before. Only recycle a whole buffer you own exclusively.
+func (p *Proc) Recycle(buf []float64) { PutBuf(buf) }

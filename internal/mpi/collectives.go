@@ -19,10 +19,13 @@ const (
 func ctag(seq, op, stage int) int { return -((seq<<8 | op<<4 | stage) + 1) }
 
 // Bcast broadcasts data from comm rank root over a binomial tree
-// (MPI_Bcast). Root passes the payload; everyone receives a copy of it as
-// the return value (including root). Exactly Size-1 messages of len(data)
-// elements are counted, matching the per-broadcast message accounting of
-// the paper's M_IMeP formula.
+// (MPI_Bcast). Root passes the payload; everyone receives a privately
+// owned copy of it as the return value (including root). Exactly Size-1
+// messages of len(data) elements are counted, matching the per-broadcast
+// message accounting of the paper's M_IMeP formula.
+//
+// The returned buffer may come from the shared pool; callers that are
+// done with it can hand it back with Proc.Recycle.
 func (p *Proc) Bcast(c *Comm, root int, data []float64) ([]float64, error) {
 	me, err := c.Rank(p)
 	if err != nil {
@@ -43,6 +46,7 @@ func (p *Proc) bcast(c *Comm, root, me, tag int, data []float64) ([]float64, err
 	// Receive phase: a non-root rank receives exactly once, from the
 	// member that differs in rel's lowest set bit; the root falls through
 	// with mask at the first power of two covering the communicator.
+	received := false
 	mask := 1
 	for mask < size {
 		if rel&mask != 0 {
@@ -52,6 +56,7 @@ func (p *Proc) bcast(c *Comm, root, me, tag int, data []float64) ([]float64, err
 				return nil, err
 			}
 			data = got
+			received = true
 			break
 		}
 		mask <<= 1
@@ -65,7 +70,14 @@ func (p *Proc) bcast(c *Comm, root, me, tag int, data []float64) ([]float64, err
 			}
 		}
 	}
-	out := make([]float64, len(data))
+	if received {
+		// The received payload is already a privately owned buffer (the
+		// sender copied it); return it without another copy.
+		return data, nil
+	}
+	// Root: return a pooled private copy so the caller's slice and the
+	// result never alias.
+	out := GetBuf(len(data))
 	copy(out, data)
 	return out, nil
 }
@@ -90,7 +102,7 @@ func (p *Proc) gather(c *Comm, root, me, tag int, data []float64) ([][]float64, 
 		return nil, p.send(c, root, tag, data)
 	}
 	out := make([][]float64, c.Size())
-	own := make([]float64, len(data))
+	own := GetBuf(len(data))
 	copy(own, data)
 	out[me] = own
 	for src := 0; src < c.Size(); src++ {
@@ -206,7 +218,7 @@ func (p *Proc) Scatter(c *Comm, root int, chunks [][]float64) ([]float64, error)
 				return nil, err
 			}
 		}
-		own := make([]float64, len(chunks[root]))
+		own := GetBuf(len(chunks[root]))
 		copy(own, chunks[root])
 		return own, nil
 	}

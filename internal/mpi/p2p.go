@@ -14,6 +14,26 @@ func (p *Proc) Send(c *Comm, dst, tag int, data []float64) error {
 }
 
 func (p *Proc) send(c *Comm, dst, tag int, data []float64) error {
+	// The copy preserving distributed-memory semantics draws on the
+	// shared buffer pool instead of allocating per message.
+	cp := GetBuf(len(data))
+	copy(cp, data)
+	return p.sendOwned(c, dst, tag, cp)
+}
+
+// SendNoCopy transmits like Send but transfers ownership of data to the
+// runtime: no copy is made, and the caller must not read or write the
+// slice afterwards. Use it for payloads built fresh for a single
+// destination; reused scratch buffers must go through Send.
+func (p *Proc) SendNoCopy(c *Comm, dst, tag int, data []float64) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: rank %d: user tag %d must be non-negative", p.rank, tag)
+	}
+	return p.sendOwned(c, dst, tag, data)
+}
+
+// sendOwned enqueues data, whose ownership passes to the receiver.
+func (p *Proc) sendOwned(c *Comm, dst, tag int, data []float64) error {
 	wdst, err := c.worldRank(dst)
 	if err != nil {
 		return err
@@ -28,10 +48,8 @@ func (p *Proc) send(c *Comm, dst, tag int, data []float64) error {
 	p.record("send", sendStart, p.clock)
 	bytes := float64(len(data)) * Float64Bytes
 	arrive := p.clock + p.w.cost.Wire(p.w.sameNode(p.rank, wdst), bytes)
-	cp := make([]float64, len(data))
-	copy(cp, data)
 	p.w.countTraffic(len(data))
-	p.w.mail[wdst][p.rank] <- message{tag: tag, data: cp, arriveAt: arrive}
+	p.w.mail[wdst][p.rank] <- message{tag: tag, data: data, arriveAt: arrive}
 	return nil
 }
 

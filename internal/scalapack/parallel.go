@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
 )
@@ -299,24 +300,30 @@ func (st *pdState) panelStep(k0 int) error {
 	// Broadcast the pivot list (with a status flag) row-wise so every
 	// process column learns the swaps; a singular panel aborts all ranks
 	// coherently instead of deadlocking them.
-	payload := make([]float64, kw+1)
+	var build []float64
 	if st.pc == pcK {
-		payload[0] = status
+		build = mpi.GetBuf(kw + 1)
+		build[0] = status
 		for t, pv := range pivots {
-			payload[t+1] = float64(pv)
+			build[t+1] = float64(pv)
 		}
 	}
-	payload, err := st.p.Bcast(st.rowComm, pcK, payload)
+	payload, err := st.p.Bcast(st.rowComm, pcK, build)
 	if err != nil {
 		return err
 	}
+	if build != nil {
+		mpi.PutBuf(build)
+	}
 	if payload[0] != 0 {
+		st.p.Recycle(payload)
 		return fmt.Errorf("%w: panel at column %d", ErrSingular, k0)
 	}
 	for t := range pivots {
 		pivots[t] = int(payload[t+1])
 		st.pivots = append(st.pivots, [2]int{k0 + t, pivots[t]})
 	}
+	st.p.Recycle(payload)
 
 	// --- Apply the row swaps outside the panel, and to b ---
 	for t, pv := range pivots {
@@ -352,6 +359,15 @@ func (st *pdState) panelStep(k0 int) error {
 
 	// --- Trailing update: A22 -= L21·U12 and b -= L21·bp ---
 	st.trailingUpdate(k0, k1, lpanel, u12, bp)
+
+	// Both broadcast payloads are dead now. lpanel wraps its transport
+	// buffer directly; u12 wraps the prefix of the U-row buffer (bp is its
+	// suffix), and the prefix slice keeps the full capacity, so recycling
+	// it returns the whole buffer.
+	lraw, _ := lpanel.Raw()
+	mpi.PutBuf(lraw)
+	uraw, _ := u12.Raw()
+	mpi.PutBuf(uraw)
 	return nil
 }
 
@@ -394,7 +410,7 @@ func (st *pdState) factorColumn(j, k0, k1 int) (int, error) {
 	var seg []float64
 	if st.pr == ownerPr {
 		li, _ := st.localRow(j)
-		seg = make([]float64, k1-j)
+		seg = mpi.GetBuf(k1 - j)
 		for t := j; t < k1; t++ {
 			lt, ok := st.localCol(t)
 			if !ok {
@@ -403,30 +419,42 @@ func (st *pdState) factorColumn(j, k0, k1 int) (int, error) {
 			seg[t-j] = st.a.At(li, lt)
 		}
 	}
+	built := seg
 	seg, err = st.p.Bcast(st.colComm, ownerPr, seg)
 	if err != nil {
 		return 0, err
 	}
-	pivVal := seg[0]
-	// Eliminate below: L multipliers and panel trailing update.
-	var flops float64
-	for li := len(st.myRows) - 1; li >= 0; li-- {
-		gi := st.myRows[li]
-		if gi <= j {
-			break
-		}
-		l := st.a.At(li, lj) / pivVal
-		st.a.Set(li, lj, l)
-		if l != 0 {
-			row := st.a.Row(li)
-			for t := j + 1; t < k1; t++ {
-				lt, _ := st.localCol(t)
-				row[lt] -= l * seg[t-j]
-			}
-		}
-		flops += float64(2*(k1-j-1) + 1)
+	if built != nil {
+		mpi.PutBuf(built)
 	}
-	st.chargeFlops(flops)
+	pivVal := seg[0]
+	// Eliminate below: L multipliers and panel trailing update. Rows with
+	// gi > j form a suffix of the ascending myRows, and the panel columns
+	// j+1..k1 are consecutive local columns (one block-cyclic block), so
+	// each row's update is a single fused AXPY — bit-identical to the
+	// scalar loop — fanned across the worker pool. The flop charge is the
+	// per-row constant times the row count, exactly what the scalar loop
+	// summed.
+	s := len(st.myRows)
+	for s > 0 && st.myRows[s-1] > j {
+		s--
+	}
+	nrows := len(st.myRows) - s
+	if nrows > 0 {
+		w := k1 - j - 1
+		kernel.ParallelFor(nrows, 1+(1<<14)/(2*w+2), func(lo, hi int) {
+			for li := s + lo; li < s + hi; li++ {
+				row := st.a.Row(li)
+				l := row[lj] / pivVal
+				row[lj] = l
+				if l != 0 && w > 0 {
+					kernel.Axpy(-l, seg[1:], row[lj+1:lj+1+w])
+				}
+			}
+		})
+	}
+	st.chargeFlops(float64(nrows) * float64(2*(k1-j-1)+1))
+	st.p.Recycle(seg)
 	return piv, nil
 }
 
@@ -463,14 +491,16 @@ func (st *pdState) swapRows(j, pv int, keep func(g int) bool) error {
 	}
 	li, _ := st.localRow(mine)
 	row := st.a.Row(li)
-	seg := make([]float64, len(cols))
+	// The outbound segment is built fresh for a single destination, so it
+	// rides the zero-copy path: ownership passes to the receiver.
+	seg := mpi.GetBuf(len(cols))
 	for t, lj := range cols {
 		seg[t] = row[lj]
 	}
 	// Deterministic exchange order: the lower process row sends first.
 	const tagSwap = 101
 	if st.pr < other {
-		if err := st.p.Send(st.colComm, other, tagSwap, seg); err != nil {
+		if err := st.p.SendNoCopy(st.colComm, other, tagSwap, seg); err != nil {
 			return err
 		}
 		got, err := st.p.Recv(st.colComm, other, tagSwap)
@@ -483,7 +513,7 @@ func (st *pdState) swapRows(j, pv int, keep func(g int) bool) error {
 		if err != nil {
 			return err
 		}
-		if err := st.p.Send(st.colComm, other, tagSwap, seg); err != nil {
+		if err := st.p.SendNoCopy(st.colComm, other, tagSwap, seg); err != nil {
 			return err
 		}
 		seg = got
@@ -494,6 +524,7 @@ func (st *pdState) swapRows(j, pv int, keep func(g int) bool) error {
 	for t, lj := range cols {
 		row[lj] = seg[t]
 	}
+	st.p.Recycle(seg)
 	return nil
 }
 
@@ -520,8 +551,10 @@ func (st *pdState) swapB(j, pv int) error {
 	}
 	li, _ := st.localRow(mine)
 	const tagSwapB = 102
+	out := mpi.GetBuf(1)
+	out[0] = st.b[li]
 	if st.pr < other {
-		if err := st.p.Send(st.colComm, other, tagSwapB, []float64{st.b[li]}); err != nil {
+		if err := st.p.SendNoCopy(st.colComm, other, tagSwapB, out); err != nil {
 			return err
 		}
 		got, err := st.p.Recv(st.colComm, other, tagSwapB)
@@ -529,15 +562,17 @@ func (st *pdState) swapB(j, pv int) error {
 			return err
 		}
 		st.b[li] = got[0]
+		st.p.Recycle(got)
 	} else {
 		got, err := st.p.Recv(st.colComm, other, tagSwapB)
 		if err != nil {
 			return err
 		}
-		if err := st.p.Send(st.colComm, other, tagSwapB, []float64{st.b[li]}); err != nil {
+		if err := st.p.SendNoCopy(st.colComm, other, tagSwapB, out); err != nil {
 			return err
 		}
 		st.b[li] = got[0]
+		st.p.Recycle(got)
 	}
 	return nil
 }
@@ -547,20 +582,23 @@ func (st *pdState) swapB(j, pv int) error {
 // kw panel-column values (L11 rows for prK, multipliers L21 elsewhere).
 func (st *pdState) broadcastPanel(k0, k1, pcK int) (*mat.Dense, error) {
 	kw := k1 - k0
-	var flat []float64
+	var build []float64
 	if st.pc == pcK {
-		flat = make([]float64, len(st.myRows)*kw)
+		build = mpi.GetBuf(len(st.myRows) * kw)
 		for li := range st.myRows {
 			row := st.a.Row(li)
 			for t := k0; t < k1; t++ {
 				lt, _ := st.localCol(t)
-				flat[li*kw+(t-k0)] = row[lt]
+				build[li*kw+(t-k0)] = row[lt]
 			}
 		}
 	}
-	flat, err := st.p.Bcast(st.rowComm, pcK, flat)
+	flat, err := st.p.Bcast(st.rowComm, pcK, build)
 	if err != nil {
 		return nil, err
+	}
+	if build != nil {
+		mpi.PutBuf(build)
 	}
 	if len(flat) != len(st.myRows)*kw {
 		return nil, fmt.Errorf("scalapack: panel payload %d, want %d", len(flat), len(st.myRows)*kw)
@@ -632,23 +670,26 @@ func (st *pdState) broadcastURow(k0, k1, prK int) (*mat.Dense, []float64, error)
 	if st.carryB {
 		bLen = kw
 	}
-	var flat []float64
+	var build []float64
 	if st.pr == prK {
-		flat = make([]float64, kw*len(trail)+bLen)
+		build = mpi.GetBuf(kw*len(trail) + bLen)
 		for t := 0; t < kw; t++ {
 			li, _ := st.localRow(k0 + t)
 			row := st.a.Row(li)
 			for u, lj := range trail {
-				flat[t*len(trail)+u] = row[lj]
+				build[t*len(trail)+u] = row[lj]
 			}
 			if st.carryB {
-				flat[kw*len(trail)+t] = st.b[li]
+				build[kw*len(trail)+t] = st.b[li]
 			}
 		}
 	}
-	flat, err := st.p.Bcast(st.colComm, prK, flat)
+	flat, err := st.p.Bcast(st.colComm, prK, build)
 	if err != nil {
 		return nil, nil, err
+	}
+	if build != nil {
+		mpi.PutBuf(build)
 	}
 	if len(flat) != kw*len(trail)+bLen {
 		return nil, nil, fmt.Errorf("scalapack: U row payload %d, want %d", len(flat), kw*len(trail)+bLen)
@@ -661,38 +702,40 @@ func (st *pdState) broadcastURow(k0, k1, prK int) (*mat.Dense, []float64, error)
 }
 
 // trailingUpdate applies A22 -= L21·U12 on the owned trailing block and
-// b -= L21·bp on the owned trailing rows.
+// b -= L21·bp on the owned trailing rows. myRows/myCols are ascending, so
+// the trailing rows and columns are suffixes of the local layout and the
+// whole update is one strided GEMM on the blocked kernel (kw ≤ nb ≤ the
+// kernel's k panel, so the accumulation per element even stays in
+// ascending k order, like the scalar loops it replaces). The flop charge
+// below is the same closed form the scalar version accumulated, keeping
+// virtual time and energy bit-for-bit unchanged.
 func (st *pdState) trailingUpdate(k0, k1 int, lpanel, u12 *mat.Dense, bp []float64) {
 	kw := k1 - k0
-	var trail []int
-	for lj, gj := range st.myCols {
-		if gj >= k1 {
-			trail = append(trail, lj)
-		}
+	ri := len(st.myRows)
+	for ri > 0 && st.myRows[ri-1] >= k1 {
+		ri--
 	}
-	var flops float64
-	for li, gi := range st.myRows {
-		if gi < k1 {
-			continue
+	ci := len(st.myCols)
+	for ci > 0 && st.myCols[ci-1] >= k1 {
+		ci--
+	}
+	mrows := len(st.myRows) - ri
+	ncols := len(st.myCols) - ci
+	if mrows == 0 {
+		return
+	}
+	if ncols > 0 {
+		lp, ldl := lpanel.Raw()
+		ud, ldu := u12.Raw()
+		ad, lda := st.a.Raw()
+		kernel.Gemm(mrows, ncols, kw, -1, lp[ri*ldl:], ldl, ud, ldu, ad[ri*lda+ci:], lda)
+	}
+	flops := float64(mrows) * float64(2*kw*ncols)
+	if st.carryB {
+		for li := ri; li < len(st.myRows); li++ {
+			st.b[li] -= kernel.DotSerial(lpanel.Row(li)[:kw], bp)
 		}
-		lrow := lpanel.Row(li)
-		arow := st.a.Row(li)
-		for u, lj := range trail {
-			var s float64
-			for t := 0; t < kw; t++ {
-				s += lrow[t] * u12.At(t, u)
-			}
-			arow[lj] -= s
-		}
-		if st.carryB {
-			var sb float64
-			for t := 0; t < kw; t++ {
-				sb += lrow[t] * bp[t]
-			}
-			st.b[li] -= sb
-			flops += float64(2 * kw)
-		}
-		flops += float64(2 * kw * len(trail))
+		flops += float64(mrows) * float64(2*kw)
 	}
 	st.chargeFlops(flops)
 }
