@@ -7,6 +7,14 @@
 // Usage:
 //
 //	energymon -alg ime -n 384 -ranks 96 -outdir results/
+//
+// The observability flags stream the run's telemetry:
+//
+//	energymon -alg ime -n 96 -ranks 24 -trace t.json -metrics m.prom
+//
+// -trace writes a Perfetto/Chrome trace (load it at ui.perfetto.dev;
+// analyse it with cmd/tracestats) and -metrics a Prometheus text
+// exposition. Neither changes the simulated energies or durations.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ime"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/monitor"
 	"repro/internal/mpi"
@@ -28,19 +37,21 @@ func main() {
 	algName := flag.String("alg", "ime", "solver: ime or scalapack")
 	n := flag.Int("n", 384, "system order")
 	ranks := flag.Int("ranks", 48, "MPI ranks (multiple of 48 for full-load, 24 for half-load)")
-	placement := flag.String("placement", "full", "node placement: full, half1, half2")
+	placement := flag.String("placement", "auto", "node placement: auto, full, half1, half2")
 	seed := flag.Int64("seed", 1, "input generator seed")
 	nb := flag.Int("nb", 16, "ScaLAPACK block size")
 	outdir := flag.String("outdir", ".", "directory for per-processor energy files")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace JSON to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus text exposition to this file")
 	flag.Parse()
 
-	if err := run(*algName, *n, *ranks, *placement, *seed, *nb, *outdir); err != nil {
+	if err := run(*algName, *n, *ranks, *placement, *seed, *nb, *outdir, *tracePath, *metricsPath); err != nil {
 		fmt.Fprintf(os.Stderr, "energymon: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName string, n, ranks int, placement string, seed int64, nb int, outdir string) error {
+func run(algName string, n, ranks int, placement string, seed int64, nb int, outdir, tracePath, metricsPath string) error {
 	var alg perfmodel.Algorithm
 	switch algName {
 	case "ime":
@@ -50,8 +61,21 @@ func run(algName string, n, ranks int, placement string, seed int64, nb int, out
 	default:
 		return fmt.Errorf("unknown algorithm %q", algName)
 	}
+	spec := cluster.MarconiA3()
 	var pl cluster.Placement
 	switch placement {
+	case "auto":
+		// Prefer full-load; fall back to half-load-2-sockets when the rank
+		// count only fills one socket per node.
+		switch {
+		case ranks%spec.CoresPerNode() == 0:
+			pl = cluster.FullLoad
+		case ranks%spec.CoresPerSocket == 0:
+			pl = cluster.HalfLoadTwoSockets
+		default:
+			return fmt.Errorf("no placement fits %d ranks (need a multiple of %d or %d); pass -placement explicitly",
+				ranks, spec.CoresPerNode(), spec.CoresPerSocket)
+		}
 	case "full":
 		pl = cluster.FullLoad
 	case "half1":
@@ -61,7 +85,7 @@ func run(algName string, n, ranks int, placement string, seed int64, nb int, out
 	default:
 		return fmt.Errorf("unknown placement %q", placement)
 	}
-	cfg, err := cluster.NewConfig(ranks, pl, cluster.MarconiA3())
+	cfg, err := cluster.NewConfig(ranks, pl, spec)
 	if err != nil {
 		return err
 	}
@@ -76,6 +100,12 @@ func run(algName string, n, ranks int, placement string, seed int64, nb int, out
 	w, err := mpi.NewWorld(ranks, mpi.Options{Config: &cfg})
 	if err != nil {
 		return err
+	}
+	if tracePath != "" {
+		w.EnableTracing()
+	}
+	if metricsPath != "" {
+		kernel.EnableMetrics(w.EnableMetrics())
 	}
 	var mu sync.Mutex
 	var reports []monitor.NodeReport
@@ -129,7 +159,52 @@ func run(algName string, n, ranks int, placement string, seed int64, nb int, out
 	}
 	fmt.Printf("run: %s %s on %s — %.3f J, %.6f s, avg %.1f W across %d nodes → %s\n",
 		alg, fmt.Sprintf("n=%d", n), cfg.Label(), sum.TotalJ, sum.DurationS, sum.AvgPowerW(), sum.Nodes, path)
+
+	if tracePath != "" {
+		if err := writeTrace(w, tracePath); err != nil {
+			return err
+		}
+		st, err := mpi.AnalyzeSpans(w.Spans())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans → %s (critical path %.6f s of %.6f s makespan)\n",
+			len(w.Spans()), tracePath, st.CriticalS, st.Makespan)
+	}
+	if metricsPath != "" {
+		if err := writeMetrics(w, metricsPath); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", metricsPath)
+	}
 	return nil
+}
+
+// writeTrace exports the recorded spans and RAPL counter tracks.
+func writeTrace(w *mpi.World, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics snapshots final energies and exports the registry.
+func writeMetrics(w *mpi.World, path string) error {
+	w.SnapshotEnergyMetrics()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.MetricsRegistry().WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func solve(p *mpi.Proc, alg perfmodel.Algorithm, sys *mat.System, nb int) ([]float64, error) {

@@ -1,0 +1,52 @@
+// Command tracestats analyses a trace recorded by the simulated MPI
+// runtime (energymon/lsbench -trace, or mpi.World.WriteChromeTrace): it
+// reports each rank's compute/communication/wait breakdown and the
+// critical path through the virtual-time DAG — the chain of compute spans
+// and matched send→recv pairs that bounds the makespan.
+//
+// Usage:
+//
+//	tracestats trace.json
+//	tracestats -csv trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit the per-rank table as CSV instead of aligned text")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestats [-csv] <trace.json>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, csv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := mpi.ReadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	st, err := mpi.AnalyzeSpans(spans)
+	if err != nil {
+		return err
+	}
+	if csv {
+		return st.WriteCSV(os.Stdout)
+	}
+	return st.WriteReport(os.Stdout)
+}

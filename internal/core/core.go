@@ -16,10 +16,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/ime"
+	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/monitor"
 	"repro/internal/mpi"
@@ -150,22 +152,55 @@ func RunAnalytic(e Experiment, prm perfmodel.Params) (Measurement, error) {
 // phase.
 const allocationBandwidth = 4e9
 
+// Instrumentation requests optional observability artifacts from a
+// monitored run. Both writers are optional; a nil writer disables that
+// artifact and its collection entirely, so an empty Instrumentation is
+// byte-identical to the uninstrumented path.
+type Instrumentation struct {
+	// TraceW receives the Perfetto/Chrome trace JSON (span timeline plus
+	// RAPL power counter tracks).
+	TraceW io.Writer
+	// MetricsW receives the Prometheus text exposition of the run's
+	// metrics registry (MPI traffic, per-rank activity, solver and kernel
+	// pool series, RAPL energy counters).
+	MetricsW io.Writer
+}
+
 // RunMonitored executes the experiment on the simulated cluster: real
 // distributed numerics under the §4 monitoring framework. The system is
 // generated from the experiment seed (standing in for the paper's input
 // files). Feasible for small N and rank counts.
 func RunMonitored(e Experiment) (Measurement, error) {
+	m, _, err := RunMonitoredInstrumented(e, Instrumentation{})
+	return m, err
+}
+
+// RunMonitoredInstrumented is RunMonitored with the telemetry layer
+// switched on: it additionally streams the requested artifacts and, when
+// tracing is enabled, returns the critical-path analysis of the recorded
+// spans. Collection is passive — simulated durations, energies and the
+// solution are identical to RunMonitored's.
+func RunMonitoredInstrumented(e Experiment, inst Instrumentation) (Measurement, *mpi.TraceStats, error) {
 	cfg, err := e.resolveConfig(cluster.MarconiA3())
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 	if e.Ranks > e.N {
-		return Measurement{}, fmt.Errorf("core: %d ranks exceed order %d", e.Ranks, e.N)
+		return Measurement{}, nil, fmt.Errorf("core: %d ranks exceed order %d", e.Ranks, e.N)
 	}
 	sys := mat.NewRandomSystem(e.N, e.Seed)
 	w, err := mpi.NewWorld(e.Ranks, mpi.Options{Config: &cfg})
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
+	}
+	if inst.TraceW != nil {
+		w.EnableTracing()
+	}
+	if inst.MetricsW != nil {
+		kernel.EnableMetrics(w.EnableMetrics())
+		// The pool instruments are process-global; detach them so later
+		// runs don't keep feeding this run's registry.
+		defer kernel.EnableMetrics(nil)
 	}
 
 	var mu sync.Mutex
@@ -210,7 +245,7 @@ func RunMonitored(e Experiment) (Measurement, error) {
 		return nil
 	})
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 
 	sum := monitor.Summarize(reports)
@@ -226,7 +261,24 @@ func RunMonitored(e Experiment) (Measurement, error) {
 	for _, d := range rapl.Domains() {
 		m.EnergyJ[d] = sum.ByEvent["powercap:::"+d.String()]
 	}
-	return m, nil
+
+	var ts *mpi.TraceStats
+	if inst.TraceW != nil {
+		if err := w.WriteChromeTrace(inst.TraceW); err != nil {
+			return Measurement{}, nil, fmt.Errorf("core: write trace: %w", err)
+		}
+		ts, err = mpi.AnalyzeSpans(w.Spans())
+		if err != nil {
+			return Measurement{}, nil, fmt.Errorf("core: analyze trace: %w", err)
+		}
+	}
+	if inst.MetricsW != nil {
+		w.SnapshotEnergyMetrics()
+		if err := w.MetricsRegistry().WritePrometheus(inst.MetricsW); err != nil {
+			return Measurement{}, nil, fmt.Errorf("core: write metrics: %w", err)
+		}
+	}
+	return m, ts, nil
 }
 
 // allocationShareBytes is the table memory one rank first-touches.

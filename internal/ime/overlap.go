@@ -83,8 +83,15 @@ func solveOverlapped(p *mpi.Proc, c *mpi.Comm, sys *mat.System, st *parallelStat
 	}
 
 	for l := n; l >= 1; l-- {
+		ph := p.BeginPhase("elimination-level", l)
+		lvlStart := p.Clock()
 		if err := overlappedLevel(p, c, st, l, opts.ChargeCosts); err != nil {
 			return nil, fmt.Errorf("ime: overlapped level %d: %w", l, err)
+		}
+		p.EndPhase(ph)
+		if me == masterRank {
+			st.mLevelS.Add(p.Clock() - lvlStart)
+			st.mLevels.Inc()
 		}
 	}
 
@@ -183,8 +190,9 @@ func overlappedLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge 
 	if st.cs != nil {
 		st.cs.step(l, pr, piv)
 	}
+	flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
+	st.mFlops.Add(flops)
 	if charge {
-		flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
 		p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
 	}
 	// pr is dead past this point; both the owner's pooled pendingPivot and

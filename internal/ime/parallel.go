@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // ParallelOptions tunes SolveParallel.
@@ -93,6 +94,7 @@ func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptio
 	if err != nil {
 		return nil, err
 	}
+	st.attachMetrics(p)
 
 	if opts.Overlap {
 		if opts.InjectFaultLevel > 0 {
@@ -135,8 +137,15 @@ func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptio
 				return nil, err
 			}
 		}
+		ph := p.BeginPhase("elimination-level", l)
+		lvlStart := p.Clock()
 		if err := solveLevel(p, c, st, l, opts.ChargeCosts); err != nil {
 			return nil, fmt.Errorf("ime: level %d: %w", l, err)
+		}
+		p.EndPhase(ph)
+		if st.me == masterRank {
+			st.mLevelS.Add(p.Clock() - lvlStart)
+			st.mLevels.Inc()
 		}
 	}
 
@@ -167,6 +176,24 @@ type parallelState struct {
 	ms []float64
 	// pivScratch is the owner's reusable pivot-payload build buffer.
 	pivScratch []float64
+	// Registry instruments, resolved once per solve when the world has
+	// metrics enabled; nil instruments no-op, so the fields can be used
+	// unconditionally.
+	mFlops  *telemetry.Counter
+	mLevelS *telemetry.Counter
+	mLevels *telemetry.Counter
+}
+
+// attachMetrics resolves the solver's instruments from the world registry
+// (no-op when metrics are disabled).
+func (st *parallelState) attachMetrics(p *mpi.Proc) {
+	reg := p.Metrics()
+	if reg == nil {
+		return
+	}
+	st.mFlops = reg.Counter("solver_flops_total", "modelled floating-point operations charged by the solver", "alg", "ime")
+	st.mLevelS = reg.Counter("solver_level_seconds_total", "virtual seconds spent in elimination levels, master rank", "alg", "ime")
+	st.mLevels = reg.Counter("solver_levels_total", "elimination levels completed, master rank", "alg", "ime")
 }
 
 // msScratch returns the reusable multiplier buffer, allocating it on
@@ -280,8 +307,9 @@ func solveLevel(p *mpi.Proc, c *mpi.Comm, st *parallelState, l int, charge bool)
 	if st.cs != nil {
 		st.cs.step(l, pr, piv)
 	}
+	flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
+	st.mFlops.Add(flops)
 	if charge {
-		flops := LevelFlops(n, l) * float64(st.hi-st.lo) / float64(n)
 		p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
 	}
 

@@ -1,0 +1,43 @@
+package kernel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// poolMetrics is the instrument set the worker pool reports into. It is
+// resolved once in EnableMetrics so the hot path does no registry lookups.
+type poolMetrics struct {
+	calls   *telemetry.Counter // ParallelFor invocations
+	inline  *telemetry.Counter // invocations that ran without the pool
+	tiles   *telemetry.Counter // work spans (tiles) executed
+	queue   *telemetry.Gauge   // jobs buffered in the pool channel
+	active  *telemetry.Gauge   // workers currently running a job
+	spanLen *telemetry.Histogram
+}
+
+// metrics is nil until EnableMetrics; the disabled fast path is a single
+// atomic pointer load.
+var metrics atomic.Pointer[poolMetrics]
+
+// EnableMetrics registers the worker-pool instruments with reg and turns
+// pool instrumentation on process-wide. Safe to call more than once; the
+// latest registry wins.
+func EnableMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	m := &poolMetrics{
+		calls:  reg.Counter("kernel_parallel_for_total", "ParallelFor invocations."),
+		inline: reg.Counter("kernel_parallel_for_inline_total", "ParallelFor invocations executed inline (range too small for the pool)."),
+		tiles:  reg.Counter("kernel_pool_tiles_total", "Work spans (tiles) executed by the kernel worker pool, including the caller's own span."),
+		queue:  reg.Gauge("kernel_pool_queue_depth", "Jobs buffered in the pool channel, sampled at enqueue time."),
+		active: reg.Gauge("kernel_pool_active_workers", "Pool workers currently executing a job (caller's inline span excluded)."),
+		spanLen: reg.Histogram("kernel_pool_span_indices", "Indices per work span handed to one worker.",
+			[]float64{64, 256, 1024, 4096, 16384, 65536}),
+	}
+	reg.Gauge("kernel_pool_workers", "Size of the process-wide worker pool.").Set(float64(Workers()))
+	metrics.Store(m)
+}

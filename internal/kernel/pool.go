@@ -74,9 +74,21 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 	if spans > poolWorkers {
 		spans = poolWorkers
 	}
+	m := metrics.Load()
 	if spans <= 1 || poolJobs == nil {
+		if m != nil {
+			m.calls.Inc()
+			m.inline.Inc()
+			m.tiles.Inc()
+			m.spanLen.Observe(float64(n))
+		}
 		fn(0, n)
 		return
+	}
+	if m != nil {
+		m.calls.Inc()
+		m.tiles.Add(float64(spans))
+		m.queue.Set(float64(len(poolJobs) + spans - 1))
 	}
 	var wg sync.WaitGroup
 	span := n / spans
@@ -90,10 +102,23 @@ func ParallelFor(n, grain int, fn func(lo, hi int)) {
 		l, h := lo, lo+sz
 		lo = h
 		wg.Add(1)
-		poolJobs <- func() {
-			defer wg.Done()
-			fn(l, h)
+		if m != nil {
+			m.spanLen.Observe(float64(sz))
+			poolJobs <- func() {
+				defer wg.Done()
+				m.active.Add(1)
+				fn(l, h)
+				m.active.Add(-1)
+			}
+		} else {
+			poolJobs <- func() {
+				defer wg.Done()
+				fn(l, h)
+			}
 		}
+	}
+	if m != nil {
+		m.spanLen.Observe(float64(n - lo))
 	}
 	fn(lo, n)
 	wg.Wait()

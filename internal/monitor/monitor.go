@@ -105,6 +105,7 @@ func (s *Session) StartMonitoring() error {
 	}
 	s.startAt = s.p.Clock()
 	s.started = true
+	s.p.MarkInstant("monitor-start")
 	// General execution synchronization before the solver phase (Fig. 2).
 	return s.p.Barrier(s.World)
 }
@@ -148,6 +149,7 @@ func (s *Session) StopMonitoring() (*NodeReport, error) {
 		return nil, err
 	}
 	s.started = false
+	s.p.MarkInstant("monitor-stop")
 	var report *NodeReport
 	if s.IsMonitor {
 		values, elapsed, err := s.events.Stop() // PAPI_stop_AND_time
@@ -201,6 +203,7 @@ func (s *Session) Mark(name string) error {
 	if err := s.p.Barrier(s.NodeComm); err != nil {
 		return err
 	}
+	s.p.MarkInstant("mark: " + name)
 	if s.IsMonitor {
 		values, err := s.events.Read()
 		if err != nil {

@@ -18,6 +18,14 @@ const (
 // ctag builds the reserved tag of one stage of one collective call.
 func ctag(seq, op, stage int) int { return -((seq<<8 | op<<4 | stage) + 1) }
 
+// countCollective bumps the per-type collective counter when metrics are
+// enabled. One predictable branch when they are not.
+func (p *Proc) countCollective(op int) {
+	if m := p.w.metrics; m != nil {
+		m.collectives[op].Inc()
+	}
+}
+
 // Bcast broadcasts data from comm rank root over a binomial tree
 // (MPI_Bcast). Root passes the payload; everyone receives a privately
 // owned copy of it as the return value (including root). Exactly Size-1
@@ -35,7 +43,11 @@ func (p *Proc) Bcast(c *Comm, root int, data []float64) ([]float64, error) {
 		return nil, fmt.Errorf("mpi: bcast root %d out of range [0,%d)", root, c.Size())
 	}
 	seq := p.nextSeq(c)
-	return p.bcast(c, root, me, ctag(seq, opBcast, 0), data)
+	p.countCollective(opBcast)
+	start := p.clock
+	out, err := p.bcast(c, root, me, ctag(seq, opBcast, 0), data)
+	p.recordCollective("bcast", start, len(out))
+	return out, err
 }
 
 // bcast is the tag-explicit binomial broadcast used by Bcast and by the
@@ -94,7 +106,11 @@ func (p *Proc) Gather(c *Comm, root int, data []float64) ([][]float64, error) {
 		return nil, fmt.Errorf("mpi: gather root %d out of range [0,%d)", root, c.Size())
 	}
 	seq := p.nextSeq(c)
-	return p.gather(c, root, me, ctag(seq, opGather, 0), data)
+	p.countCollective(opGather)
+	start := p.clock
+	out, err := p.gather(c, root, me, ctag(seq, opGather, 0), data)
+	p.recordCollective("gather", start, len(data))
+	return out, err
 }
 
 func (p *Proc) gather(c *Comm, root, me, tag int, data []float64) ([][]float64, error) {
@@ -126,7 +142,11 @@ func (p *Proc) Allgather(c *Comm, data []float64) ([][]float64, error) {
 		return nil, err
 	}
 	seq := p.nextSeq(c)
-	return p.allgather(c, seq, data)
+	p.countCollective(opAllgather)
+	start := p.clock
+	out, err := p.allgather(c, seq, data)
+	p.recordCollective("allgather", start, len(data)*c.Size())
+	return out, err
 }
 
 func (p *Proc) allgather(c *Comm, seq int, data []float64) ([][]float64, error) {
@@ -205,6 +225,9 @@ func (p *Proc) Scatter(c *Comm, root int, chunks [][]float64) ([]float64, error)
 		return nil, fmt.Errorf("mpi: scatter root %d out of range [0,%d)", root, c.Size())
 	}
 	seq := p.nextSeq(c)
+	p.countCollective(opScatter)
+	start := p.clock
+	defer func() { p.recordCollective("scatter", start, 0) }()
 	tag := ctag(seq, opScatter, 0)
 	if me == root {
 		if len(chunks) != c.Size() {
@@ -237,6 +260,9 @@ func (p *Proc) ReduceSum(c *Comm, root int, data []float64) ([]float64, error) {
 		return nil, fmt.Errorf("mpi: reduce root %d out of range [0,%d)", root, c.Size())
 	}
 	seq := p.nextSeq(c)
+	p.countCollective(opReduce)
+	start := p.clock
+	defer func() { p.recordCollective("reduce", start, len(data)) }()
 	tag := ctag(seq, opReduce, 0)
 	size := c.Size()
 	rel := (me - root + size) % size
@@ -308,6 +334,9 @@ func (p *Proc) Alltoall(c *Comm, chunks [][]float64) ([][]float64, error) {
 		return nil, fmt.Errorf("mpi: alltoall got %d chunks for %d ranks", len(chunks), c.Size())
 	}
 	seq := p.nextSeq(c)
+	p.countCollective(opAlltoall)
+	start := p.clock
+	defer func() { p.recordCollective("alltoall", start, 0) }()
 	tag := ctag(seq, opAlltoall, 0)
 	size := c.Size()
 	out := make([][]float64, size)
@@ -345,6 +374,9 @@ func (p *Proc) allreduce(c *Comm, data []float64, combine func(acc, in []float64
 		return nil, err
 	}
 	seq := p.nextSeq(c)
+	p.countCollective(opAllreduce)
+	start := p.clock
+	defer func() { p.recordCollective("allreduce", start, len(data)) }()
 	size := c.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)

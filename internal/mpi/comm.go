@@ -77,6 +77,10 @@ func (p *Proc) Barrier(c *Comm) error {
 	if _, err := c.Rank(p); err != nil {
 		return err
 	}
+	if m := p.w.metrics; m != nil {
+		m.barriers.Inc()
+	}
+	start := p.clock
 	b := &c.bar
 	b.mu.Lock()
 	if b.cond == nil {
@@ -101,6 +105,7 @@ func (p *Proc) Barrier(c *Comm) error {
 	release := b.release
 	b.mu.Unlock()
 	p.waitUntil(release)
+	p.recordCollective("barrier", start, 0)
 	return nil
 }
 
@@ -145,9 +150,12 @@ func (p *Proc) CommSplit(c *Comm, color, key int) (*Comm, error) {
 		return nil, err
 	}
 	seq := p.nextSeq(c)
+	p.countCollective(opSplit)
+	start := p.clock
 	// Exchange (color, key) pairs; the payload rides the normal collective
 	// machinery so its cost is accounted like real MPI_Comm_split traffic.
 	all, err := p.allgather(c, seq, []float64{float64(color), float64(key)})
+	p.recordCollective("comm_split", start, 2*c.Size())
 	if err != nil {
 		return nil, err
 	}

@@ -45,10 +45,14 @@ func (p *Proc) sendOwned(c *Comm, dst, tag int, data []float64) error {
 	// time determined by locality.
 	sendStart := p.clock
 	p.advanceBusy(p.w.cost.SendOverhead, 0)
-	p.record("send", sendStart, p.clock)
+	p.recordMsg("send", sendStart, p.clock, wdst, tag, len(data))
 	bytes := float64(len(data)) * Float64Bytes
 	arrive := p.clock + p.w.cost.Wire(p.w.sameNode(p.rank, wdst), bytes)
 	p.w.countTraffic(len(data))
+	if m := p.w.metrics; m != nil {
+		m.messages.Inc()
+		m.bytes.Add(bytes)
+	}
 	p.w.mail[wdst][p.rank] <- message{tag: tag, data: data, arriveAt: arrive}
 	return nil
 }
@@ -87,7 +91,10 @@ func (p *Proc) recv(c *Comm, src, tag int) ([]float64, error) {
 				p.waitUntil(msg.arriveAt)
 				rs := p.clock
 				p.advanceBusy(p.w.cost.RecvOverhead, 0)
-				p.record("recv", rs, p.clock)
+				p.recordMsg("recv", rs, p.clock, wsrc, tag, len(msg.data))
+				if m := p.w.metrics; m != nil {
+					m.recvs.Inc()
+				}
 				return msg.data, nil
 			}
 		}
@@ -98,7 +105,10 @@ func (p *Proc) recv(c *Comm, src, tag int) ([]float64, error) {
 			p.waitUntil(msg.arriveAt)
 			rs := p.clock
 			p.advanceBusy(p.w.cost.RecvOverhead, 0)
-			p.record("recv", rs, p.clock)
+			p.recordMsg("recv", rs, p.clock, wsrc, tag, len(msg.data))
+			if m := p.w.metrics; m != nil {
+				m.recvs.Inc()
+			}
 			return msg.data, nil
 		}
 		if p.stash == nil {

@@ -70,6 +70,9 @@ func (p *Proc) waitUntil(t float64) {
 		p.clock = t
 		p.w.chargeNode(p.rank, dt, 0, p.clock)
 		p.record("wait", start, t)
+		if m := p.w.metrics; m != nil {
+			m.waitS[p.rank].Add(dt)
+		}
 	}
 }
 
@@ -105,6 +108,9 @@ func (p *Proc) Compute(seconds, bytes float64) {
 	p.clock += seconds
 	p.w.chargeNode(p.rank, seconds*act, bytes, p.clock)
 	p.record("compute", start, p.clock)
+	if m := p.w.metrics; m != nil {
+		m.computeS[p.rank].Add(seconds)
+	}
 }
 
 // ComputeFlops charges flops of work executed at rate flops/second moving

@@ -55,6 +55,8 @@ type World struct {
 
 	// trace records per-rank spans when EnableTracing was called.
 	trace *tracer
+	// metrics feeds the telemetry registry when EnableMetrics was called.
+	metrics *worldMetrics
 }
 
 type message struct {
@@ -198,6 +200,11 @@ func (w *World) chargeNode(rank int, busySeconds, bytes, clock float64) {
 		if err := n.SetTime(clock); err != nil {
 			panic(err)
 		}
+	}
+	if w.trace != nil {
+		// Sample the node's energy counters onto the trace's virtual
+		// timeline (throttled to the RAPL refresh period).
+		w.trace.sampleLocked(node, n, n.Now())
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // ParallelOptions tunes Pdgesv.
@@ -75,14 +76,22 @@ func Pdgesv(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptions) ([]
 	if opts.ChargeCosts {
 		st.charge = true
 	}
+	st.attachMetrics()
 
 	n, nb := st.n, st.nb
 	for k0 := 0; k0 < n; k0 += nb {
+		stepStart := p.Clock()
 		if err := st.panelStep(k0); err != nil {
 			return nil, fmt.Errorf("scalapack: panel at %d: %w", k0, err)
 		}
+		if st.pr == 0 && st.pc == 0 {
+			st.mPanelS.Add(p.Clock() - stepStart)
+			st.mPanels.Inc()
+		}
 	}
+	ph := p.BeginPhase("back-substitution", -1)
 	x, err := st.backSubstitute(func(_, li int) float64 { return st.b[li] })
+	p.EndPhase(ph)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +116,23 @@ type pdState struct {
 	// pivots records (j, pv) swaps in elimination order for later
 	// right-hand sides (Factorization.Solve).
 	pivots [][2]int
+	// Registry instruments (nil when metrics are disabled; telemetry
+	// instruments no-op on nil, so they are used unconditionally).
+	mFlops  *telemetry.Counter
+	mPanelS *telemetry.Counter
+	mPanels *telemetry.Counter
+}
+
+// attachMetrics resolves the solver's instruments from the world registry
+// (no-op when metrics are disabled).
+func (st *pdState) attachMetrics() {
+	reg := st.p.Metrics()
+	if reg == nil {
+		return
+	}
+	st.mFlops = reg.Counter("solver_flops_total", "modelled floating-point operations charged by the solver", "alg", "scalapack")
+	st.mPanelS = reg.Counter("solver_level_seconds_total", "virtual seconds spent in panel steps, grid rank (0,0)", "alg", "scalapack")
+	st.mPanels = reg.Counter("solver_levels_total", "panel steps completed, grid rank (0,0)", "alg", "scalapack")
 }
 
 func newPdState(p *mpi.Proc, c *mpi.Comm, a *mat.Dense, b []float64, grid Grid, me, nb int) (*pdState, error) {
@@ -266,6 +292,9 @@ func (st *pdState) localCol(g int) (int, bool) {
 
 // chargeFlops accounts local arithmetic to the virtual clock.
 func (st *pdState) chargeFlops(flops float64) {
+	if flops > 0 {
+		st.mFlops.Add(flops)
+	}
 	if st.charge && flops > 0 {
 		st.p.ComputeFlops(flops, EffFlopsPerCore, flops*DramBytesPerFlop)
 	}
@@ -280,10 +309,12 @@ func (st *pdState) panelStep(k0 int) error {
 		kw = n - k0
 	}
 	k1 := k0 + kw // first column after the panel
-	pcK := (k0 / nb) % st.grid.Pc
-	prK := (k0 / nb) % st.grid.Pr
+	bi := k0 / nb
+	pcK := bi % st.grid.Pc
+	prK := bi % st.grid.Pr
 
 	// --- Panel factorisation (process column pcK only) ---
+	phPanel := st.p.BeginPhase("panel", bi)
 	pivots := make([]int, kw)
 	status := 0.0
 	if st.pc == pcK {
@@ -340,8 +371,10 @@ func (st *pdState) panelStep(k0 int) error {
 			}
 		}
 	}
+	st.p.EndPhase(phPanel)
 
 	// --- Row-wise broadcast of the panel columns (L11 at prK, L21 below) ---
+	phBcast := st.p.BeginPhase("broadcast", bi)
 	lpanel, err := st.broadcastPanel(k0, k1, pcK)
 	if err != nil {
 		return err
@@ -356,9 +389,12 @@ func (st *pdState) panelStep(k0 int) error {
 	if err != nil {
 		return err
 	}
+	st.p.EndPhase(phBcast)
 
 	// --- Trailing update: A22 -= L21·U12 and b -= L21·bp ---
+	phTrail := st.p.BeginPhase("trailing-update", bi)
 	st.trailingUpdate(k0, k1, lpanel, u12, bp)
+	st.p.EndPhase(phTrail)
 
 	// Both broadcast payloads are dead now. lpanel wraps its transport
 	// buffer directly; u12 wraps the prefix of the U-row buffer (bp is its
@@ -443,7 +479,7 @@ func (st *pdState) factorColumn(j, k0, k1 int) (int, error) {
 	if nrows > 0 {
 		w := k1 - j - 1
 		kernel.ParallelFor(nrows, 1+(1<<14)/(2*w+2), func(lo, hi int) {
-			for li := s + lo; li < s + hi; li++ {
+			for li := s + lo; li < s+hi; li++ {
 				row := st.a.Row(li)
 				l := row[lj] / pivVal
 				row[lj] = l

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// formatValue renders a float the way the Prometheus text format expects:
+// shortest round-trip representation, `+Inf`/`-Inf` spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// series renders one exposition line: base name, merged label fragment
+// (series labels plus any extra pairs, e.g. `le`), and value.
+func series(w io.Writer, base, labels, extra, value string) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", base, value)
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", base, extra, value)
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", base, labels, value)
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", base, labels, extra, value)
+	}
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric family, then the
+// series sorted by label set. Output is deterministic.
+func (r *Registry) WritePrometheus(out io.Writer) error {
+	w := bufio.NewWriter(out)
+	var lastBase string
+	for _, e := range r.snapshot() {
+		if e.base != lastBase {
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", e.base, e.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.base, e.kind)
+			lastBase = e.base
+		}
+		switch e.kind {
+		case kindCounter:
+			series(w, e.base, e.labels, "", formatValue(e.c.Value()))
+		case kindGauge:
+			series(w, e.base, e.labels, "", formatValue(e.g.Value()))
+		case kindHistogram:
+			bounds := e.h.Bounds()
+			counts := e.h.BucketCounts()
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatValue(bounds[i])
+				}
+				series(w, e.base+"_bucket", e.labels, fmt.Sprintf("le=%q", le), strconv.FormatUint(cum, 10))
+			}
+			series(w, e.base+"_sum", e.labels, "", formatValue(e.h.Sum()))
+			series(w, e.base+"_count", e.labels, "", strconv.FormatUint(e.h.Count(), 10))
+		}
+	}
+	return w.Flush()
+}
+
+// jsonBucket is one histogram bucket in the JSON exposition.
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"` // cumulative, like the text format
+}
+
+// jsonMetric is one series in the JSON exposition.
+type jsonMetric struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Help    string            `json:"help,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// WriteJSON emits the registry as a JSON document: a sorted array of
+// series under "metrics". Deterministic, machine-readable counterpart of
+// WritePrometheus.
+func (r *Registry) WriteJSON(out io.Writer) error {
+	metrics := make([]jsonMetric, 0)
+	for _, e := range r.snapshot() {
+		m := jsonMetric{Name: e.base, Type: e.kind.String(), Help: e.help, Labels: parseLabels(e.labels)}
+		switch e.kind {
+		case kindCounter:
+			v := e.c.Value()
+			m.Value = &v
+		case kindGauge:
+			v := e.g.Value()
+			m.Value = &v
+		case kindHistogram:
+			bounds := e.h.Bounds()
+			var cum uint64
+			for i, c := range e.h.BucketCounts() {
+				cum += c
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatValue(bounds[i])
+				}
+				m.Buckets = append(m.Buckets, jsonBucket{LE: le, Count: cum})
+			}
+			s := e.h.Sum()
+			n := e.h.Count()
+			m.Sum = &s
+			m.Count = &n
+		}
+		metrics = append(metrics, m)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{metrics})
+}
+
+// parseLabels splits a rendered `k="v",…` fragment back into a map for
+// the JSON exposition.
+func parseLabels(labels string) map[string]string {
+	if labels == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	rest := labels
+	for rest != "" {
+		eq := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			break
+		}
+		k := rest[:eq]
+		v, tail, err := unquotePrefix(rest[eq+1:])
+		if err != nil {
+			break
+		}
+		out[k] = v
+		rest = tail
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+	return out
+}
+
+// unquotePrefix unquotes the leading Go-quoted string of s and returns the
+// remainder.
+func unquotePrefix(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '"' && s[i-1] != '\\' {
+			v, err := strconv.Unquote(s[:i+1])
+			return v, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("telemetry: unterminated label value %q", s)
+}
