@@ -498,6 +498,69 @@ func BenchmarkKernelTrailingScalar(b *testing.B) {
 	}
 }
 
+// --- Engine scalability benchmarks (paper-scale worlds) ---
+//
+// BenchmarkWorldSetup and BenchmarkWorldSolve pin the simulated-MPI
+// engine's cost at the paper's deployment sizes (144/576/1296 ranks,
+// Table 1). ns/op and allocated bytes per world are the headline numbers;
+// BENCH_world.json records the before/after of the sparse-mailbox engine.
+
+// worldBenchRanks are the paper's §5.1 strong-scaling rank counts.
+var worldBenchRanks = []int{144, 576, 1296}
+
+// BenchmarkWorldSetup measures bare world construction: mailbox and
+// accounting state for a full-load placement, no ranks started.
+func BenchmarkWorldSetup(b *testing.B) {
+	for _, ranks := range worldBenchRanks {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg, err := cluster.NewConfig(ranks, cluster.FullLoad, cluster.MarconiA3())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.NewWorld(ranks, mpi.Options{Config: &cfg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorldSolve measures a small fixed solve (IMe, one table row per
+// rank) through the full runtime: construction, rank goroutines, message
+// matching, barrier merges and energy accounting. The 1296-rank case is
+// skipped under -short so the CI smoke step stays fast.
+func BenchmarkWorldSolve(b *testing.B) {
+	for _, ranks := range worldBenchRanks {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			if testing.Short() && ranks > 576 {
+				b.Skip("skipping paper-scale solve under -short")
+			}
+			cfg, err := cluster.NewConfig(ranks, cluster.FullLoad, cluster.MarconiA3())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := mat.NewRandomSystem(ranks, int64(ranks))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := mpi.NewWorld(ranks, mpi.Options{Config: &cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Run(func(p *mpi.Proc) error {
+					_, err := ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{ChargeCosts: true})
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSolveIMeParallelWall measures the real (wall-clock) cost of a
 // full SolveParallel world — the solver-level view of the kernel work.
 func BenchmarkSolveIMeParallelWall(b *testing.B) {

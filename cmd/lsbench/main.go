@@ -6,8 +6,13 @@
 // Usage:
 //
 //	lsbench -figure all            # every table and figure as text
+//	lsbench -figure all -j 8       # same output, 8 artifact builders at once
 //	lsbench -figure 5 -format csv  # one figure as CSV
 //	lsbench -figure 4 -cap 110     # reproduce under a 110 W package cap
+//
+// Artifacts are independent experiment cells, so -j N builds them
+// concurrently under one worker budget; emission stays in the canonical
+// order, making the output byte-identical to a serial run for every N.
 //
 // The observability flags additionally execute one monitored reference
 // experiment (IMe, n=96, 24 ranks, half-load-2-sockets) on the simulated
@@ -26,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
 )
@@ -39,9 +45,10 @@ func main() {
 	outdir := flag.String("out", "", "also store each artifact as a file under this directory")
 	tracePath := flag.String("trace", "", "run an instrumented reference experiment and write its Perfetto trace JSON here")
 	metricsPath := flag.String("metrics", "", "run an instrumented reference experiment and write its Prometheus exposition here")
+	workers := flag.Int("j", 1, "concurrent artifact builders (0 = GOMAXPROCS); output is identical for every value")
 	flag.Parse()
 
-	if err := run(os.Stdout, *figure, *format, !*noOverlap, *capW, *nb, *outdir); err != nil {
+	if err := run(os.Stdout, *figure, *format, !*noOverlap, *capW, *nb, *outdir, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "lsbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -112,7 +119,8 @@ func runInstrumented(w io.Writer, tracePath, metricsPath string) error {
 	return nil
 }
 
-func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string) error {
+func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string, workers int) error {
+	runner := grid.New(workers)
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			return err
@@ -165,7 +173,7 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 	var sweep *core.Sweep
 	if needSweep {
 		var err error
-		sweep, err = core.NewSweep(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb})
+		sweep, err = core.NewSweepParallel(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb}, runner)
 		if err != nil {
 			return err
 		}
@@ -214,11 +222,17 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 	}
 
 	if figure == "all" {
-		for _, name := range []string{"table1", "3", "4", "5", "6", "7", "sockets", "messages", "ablation", "blocksize", "slurm", "repetitions", "breakdown"} {
-			t, err := artifacts[name]()
-			if err != nil {
-				return err
-			}
+		names := []string{"table1", "3", "4", "5", "6", "7", "sockets", "messages", "ablation", "blocksize", "slurm", "repetitions", "breakdown"}
+		// Build every artifact concurrently under the worker budget, then
+		// emit serially in the canonical order: the output is byte-identical
+		// to the serial loop, only the wall time changes.
+		tables, err := grid.Map(runner, len(names), func(i int) (*report.Table, error) {
+			return artifacts[names[i]]()
+		})
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
 			if err := emit(t); err != nil {
 				return err
 			}

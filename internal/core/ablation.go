@@ -44,7 +44,7 @@ func OverlapAblation(cases []AblationCase) (*report.Table, error) {
 }
 
 func runIMeVariant(c AblationCase, overlap bool) (makespan float64, msgs int64, err error) {
-	sys := mat.NewRandomSystem(c.N, int64(c.N))
+	sys := mat.CachedSystem(c.N, int64(c.N))
 	w, err := mpi.NewWorld(c.Ranks, mpi.Options{})
 	if err != nil {
 		return 0, 0, err
@@ -70,7 +70,7 @@ func BlockSizeAblation(n, ranks int, blockSizes []int) (*report.Table, error) {
 		Title:   fmt.Sprintf("Ablation: ScaLAPACK block size nb, n=%d ranks=%d (exact engine)", n, ranks),
 		Headers: []string{"nb", "makespan s", "messages", "volume"},
 	}
-	sys := mat.NewRandomSystem(n, int64(n))
+	sys := mat.CachedSystem(n, int64(n))
 	var mu sync.Mutex
 	for _, nb := range blockSizes {
 		w, err := mpi.NewWorld(ranks, mpi.Options{})

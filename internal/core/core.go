@@ -188,7 +188,7 @@ func RunMonitoredInstrumented(e Experiment, inst Instrumentation) (Measurement, 
 	if e.Ranks > e.N {
 		return Measurement{}, nil, fmt.Errorf("core: %d ranks exceed order %d", e.Ranks, e.N)
 	}
-	sys := mat.NewRandomSystem(e.N, e.Seed)
+	sys := mat.CachedSystem(e.N, e.Seed)
 	w, err := mpi.NewWorld(e.Ranks, mpi.Options{Config: &cfg})
 	if err != nil {
 		return Measurement{}, nil, err

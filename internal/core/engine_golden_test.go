@@ -1,0 +1,196 @@
+package core_test
+
+// Golden pinning of the executable simulated-MPI engine. The sparse-
+// matching/tree-barrier engine rework must preserve every deterministic
+// output bit-for-bit: virtual clocks (built from per-rank advances and
+// max-merges), message traffic (integers), and the distributed numerics.
+// Model energies accumulate across rank goroutines in scheduling order, so
+// they are pinned to a tight relative tolerance instead of exactly.
+//
+// Regenerate the goldens with:
+//
+//	go test ./internal/core -run TestEngineGolden -update-goldens
+//
+// against a known-good engine, and never together with an engine change.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ime"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+	"repro/internal/scalapack"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/engine_golden.json from the current engine")
+
+// goldenRow is one scenario's pinned outputs. Zero-valued fields are
+// omitted from the JSON and skipped on comparison.
+type goldenRow struct {
+	MaxClock  float64 `json:"max_clock,omitempty"`
+	Messages  int64   `json:"messages,omitempty"`
+	Volume    int64   `json:"volume,omitempty"`
+	XSum      float64 `json:"x_sum,omitempty"`
+	X0        float64 `json:"x0,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+	Residual  float64 `json:"residual,omitempty"`
+	TotalJ    float64 `json:"total_j,omitempty"`
+	Node0PkgJ float64 `json:"node0_pkg_j,omitempty"`
+}
+
+// energyTol is the relative tolerance for pinned energies: the additive
+// power model is deterministic, but busy-second accumulation order across
+// rank goroutines varies run to run at float-rounding level.
+const energyTol = 1e-9
+
+const goldenPath = "testdata/engine_golden.json"
+
+// solveWorld runs one distributed solve on a fresh world and returns the
+// pinned outputs.
+func solveWorld(t *testing.T, ranks, n int, seed int64, run func(p *mpi.Proc, sys *mat.System) ([]float64, error)) goldenRow {
+	t.Helper()
+	sys := mat.NewRandomSystem(n, seed)
+	w, err := mpi.NewWorld(ranks, mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var x []float64
+	err = w.Run(func(p *mpi.Proc) error {
+		got, err := run(p, sys)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			mu.Lock()
+			x = got
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	msgs, vol := w.Traffic()
+	node := w.Nodes()[0]
+	return goldenRow{
+		MaxClock:  w.MaxClock(),
+		Messages:  msgs,
+		Volume:    vol,
+		XSum:      sum,
+		X0:        x[0],
+		Node0PkgJ: node.ExactEnergy(rapl.PKG0) + node.ExactEnergy(rapl.PKG1),
+	}
+}
+
+// engineGoldens computes every pinned scenario on the current engine.
+func engineGoldens(t *testing.T) map[string]goldenRow {
+	t.Helper()
+	rows := map[string]goldenRow{}
+
+	rows["ime-sync-n96-r8"] = solveWorld(t, 8, 96, 42, func(p *mpi.Proc, sys *mat.System) ([]float64, error) {
+		return ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{ChargeCosts: true})
+	})
+	// The overlapped variant leans on out-of-tag-order lookahead, pinning
+	// the unexpected-message stash semantics.
+	rows["ime-overlap-n120-r6"] = solveWorld(t, 6, 120, 7, func(p *mpi.Proc, sys *mat.System) ([]float64, error) {
+		return ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{ChargeCosts: true, Overlap: true})
+	})
+	rows["scalapack-n96-r8-nb16"] = solveWorld(t, 8, 96, 43, func(p *mpi.Proc, sys *mat.System) ([]float64, error) {
+		return scalapack.Pdgesv(p, p.World(), sys, scalapack.ParallelOptions{BlockSize: 16, ChargeCosts: true})
+	})
+
+	// A monitored experiment exercises comm splits, node barriers and the
+	// PAPI/RAPL read path end to end.
+	m, err := core.RunMonitored(core.Experiment{
+		Algorithm: perfmodel.IMe,
+		N:         96,
+		Ranks:     24,
+		Placement: cluster.HalfLoadTwoSockets,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows["monitored-ime-n96-r24"] = goldenRow{
+		DurationS: m.DurationS,
+		Residual:  m.Residual,
+		TotalJ:    m.TotalJ,
+	}
+	return rows
+}
+
+func TestEngineGolden(t *testing.T) {
+	got := engineGoldens(t)
+	if *updateGoldens {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-goldens on a known-good engine): %v", err)
+	}
+	var want map[string]goldenRow
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("scenario %s missing from harness", name)
+			continue
+		}
+		exact := func(field string, gv, wv float64) {
+			if gv != wv {
+				t.Errorf("%s: %s = %v, golden %v (must be bit-identical)", name, field, gv, wv)
+			}
+		}
+		exact("max_clock", g.MaxClock, w.MaxClock)
+		exact("messages", float64(g.Messages), float64(w.Messages))
+		exact("volume", float64(g.Volume), float64(w.Volume))
+		exact("x_sum", g.XSum, w.XSum)
+		exact("x0", g.X0, w.X0)
+		exact("duration_s", g.DurationS, w.DurationS)
+		exact("residual", g.Residual, w.Residual)
+		within := func(field string, gv, wv float64) {
+			if wv == 0 {
+				exact(field, gv, wv)
+				return
+			}
+			if r := math.Abs(gv-wv) / math.Abs(wv); r > energyTol {
+				t.Errorf("%s: %s = %v, golden %v (relative error %g > %g)", name, field, gv, wv, r, energyTol)
+			}
+		}
+		within("total_j", g.TotalJ, w.TotalJ)
+		within("node0_pkg_j", g.Node0PkgJ, w.Node0PkgJ)
+	}
+	if len(got) != len(want) {
+		t.Errorf("harness has %d scenarios, goldens %d", len(got), len(want))
+	}
+	_ = fmt.Sprintf // keep fmt for future debugging aids
+}

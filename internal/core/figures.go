@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/grid"
 	"repro/internal/ime"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -28,22 +29,46 @@ type Sweep struct {
 	Measurements map[SweepKey]Measurement
 }
 
-// NewSweep runs the whole grid (72 cells).
-func NewSweep(prm perfmodel.Params) (*Sweep, error) {
-	s := &Sweep{Params: prm, Measurements: make(map[SweepKey]Measurement)}
+// SweepKeys enumerates the grid cells in canonical order.
+func SweepKeys() []SweepKey {
+	var keys []SweepKey
 	for _, n := range cluster.PaperMatrixDims() {
 		for _, ranks := range cluster.PaperRankCounts() {
 			for _, pl := range cluster.Placements() {
 				for _, alg := range perfmodel.Algorithms() {
-					e := Experiment{Algorithm: alg, N: n, Ranks: ranks, Placement: pl}
-					m, err := RunAnalytic(e, prm)
-					if err != nil {
-						return nil, fmt.Errorf("core: sweep cell %v/%d/%d/%v: %w", alg, n, ranks, pl, err)
-					}
-					s.Measurements[SweepKey{alg, n, ranks, pl}] = m
+					keys = append(keys, SweepKey{alg, n, ranks, pl})
 				}
 			}
 		}
+	}
+	return keys
+}
+
+// NewSweep runs the whole grid (72 cells) under the default worker budget.
+func NewSweep(prm perfmodel.Params) (*Sweep, error) {
+	return NewSweepParallel(prm, grid.New(0))
+}
+
+// NewSweepParallel runs the grid cells concurrently under the runner's
+// worker budget. Cells are independent analytic evaluations, so the sweep
+// is identical to a serial loop for every budget.
+func NewSweepParallel(prm perfmodel.Params, r *grid.Runner) (*Sweep, error) {
+	keys := SweepKeys()
+	ms, err := grid.Map(r, len(keys), func(i int) (Measurement, error) {
+		k := keys[i]
+		e := Experiment{Algorithm: k.Algorithm, N: k.N, Ranks: k.Ranks, Placement: k.Placement}
+		m, err := RunAnalytic(e, prm)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("core: sweep cell %v/%d/%d/%v: %w", k.Algorithm, k.N, k.Ranks, k.Placement, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{Params: prm, Measurements: make(map[SweepKey]Measurement, len(keys))}
+	for i, k := range keys {
+		s.Measurements[k] = ms[i]
 	}
 	return s, nil
 }
@@ -288,7 +313,7 @@ func MessageAccounting(cases [][2]int) (*report.Table, error) {
 	}
 	for _, c := range cases {
 		n, ranks := c[0], c[1]
-		sys := mat.NewRandomSystem(n, int64(n))
+		sys := mat.CachedSystem(n, int64(n))
 		w, err := mpi.NewWorld(ranks, mpi.Options{})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,89 @@
+// Package grid runs independent experiment cells concurrently under one
+// global worker budget.
+//
+// The paper's evaluation is a grid: every (solver, matrix dimension,
+// ranks, placement) combination is one self-contained cell — an analytic
+// model evaluation or a simulated-MPI world — that shares nothing with its
+// neighbours. Cells therefore parallelise trivially, but naively spawning
+// one goroutine per cell multiplies the engine's own per-world goroutine
+// fan-out (a 1296-rank world is 1296 goroutines by itself). The Runner
+// bounds the damage: at most `workers` cells execute at once, results come
+// back in submission order, and the first error cancels the remainder,
+// so output is byte-identical to a serial loop regardless of the budget.
+package grid
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is a shared worker budget. The zero value is not usable; call
+// New. A single Runner may be shared by many concurrent Map/Do calls —
+// the budget then caps their combined parallelism.
+type Runner struct {
+	sem chan struct{}
+}
+
+// New returns a Runner executing at most workers cells concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the runner's concurrency budget.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// Map evaluates fn(0..n-1) concurrently under the runner's budget and
+// returns the results in index order. The first error (lowest index among
+// failures is not guaranteed — first observed wins) aborts scheduling of
+// cells that have not started; cells already running finish and their
+// results are discarded.
+func Map[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		r.sem <- struct{}{} // acquire before spawning: bounds goroutines, not just work
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			v, err := fn(i)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Do runs the tasks concurrently under the runner's budget and waits for
+// all of them; the first error is returned.
+func Do(r *Runner, tasks ...func() error) error {
+	_, err := Map(r, len(tasks), func(i int) (struct{}, error) {
+		return struct{}{}, tasks[i]()
+	})
+	return err
+}

@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	r := New(4)
+	got, err := Map(r, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBudget(t *testing.T) {
+	const workers = 3
+	r := New(workers)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(r, 64, func(i int) (struct{}, error) {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds budget %d", p, workers)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	r := New(2)
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(r, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := calls.Load(); n == 1000 {
+		t.Error("error did not stop scheduling of remaining cells")
+	}
+}
+
+func TestMapSharedRunner(t *testing.T) {
+	// Two concurrent Maps sharing one Runner must respect the combined cap
+	// and both complete (no lost slots).
+	const workers = 2
+	r := New(workers)
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	cell := func(i int) (int, error) {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer inFlight.Add(-1)
+		return i, nil
+	}
+	err := Do(New(2),
+		func() error { _, err := Map(r, 50, cell); return err },
+		func() error { _, err := Map(r, 50, cell); return err },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds shared budget %d", p, workers)
+	}
+}
+
+func TestDo(t *testing.T) {
+	r := New(0) // GOMAXPROCS default
+	if r.Workers() < 1 {
+		t.Fatalf("default budget %d", r.Workers())
+	}
+	var sum atomic.Int64
+	var tasks []func() error
+	for i := 1; i <= 10; i++ {
+		i := i
+		tasks = append(tasks, func() error { sum.Add(int64(i)); return nil })
+	}
+	if err := Do(r, tasks...); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 55 {
+		t.Fatalf("sum = %d, want 55", sum.Load())
+	}
+	wantErr := fmt.Errorf("task failed")
+	if err := Do(r, func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}

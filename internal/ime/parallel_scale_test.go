@@ -1,0 +1,44 @@
+package ime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestParallelLargeWorldSolve drives a 96-rank world end to end — the CI
+// race job runs it under -race to sweep the engine's concurrent machinery
+// (sparse stream creation, dissemination barriers, striped traffic
+// counters, node accounting) at a rank count past anything the unit tests
+// reach. Both solver variants run so the out-of-tag-order stash path is
+// exercised too.
+func TestParallelLargeWorldSolve(t *testing.T) {
+	const n, ranks = 96, 96
+	sys := mat.CachedSystem(n, int64(n))
+	for _, opts := range []ParallelOptions{
+		{ChargeCosts: true},
+		{ChargeCosts: true, Overlap: true},
+	} {
+		x, w := runParallel(t, sys, ranks, opts)
+		for i := range x {
+			if err := math.Abs(x[i] - sys.X[i]); err > 1e-8 {
+				t.Fatalf("overlap=%v: x[%d] off by %g", opts.Overlap, i, err)
+			}
+		}
+		if w.MaxClock() <= 0 {
+			t.Fatalf("overlap=%v: no virtual time charged", opts.Overlap)
+		}
+		msgs, vol := w.Traffic()
+		if !opts.Overlap {
+			// The closed forms describe the synchronous protocol; the
+			// overlapped variant trades messages for lookahead.
+			if msgs != ExpectedMessages(n, ranks) || vol != ExpectedVolume(n, ranks) {
+				t.Fatalf("traffic %d/%d, want %d/%d",
+					msgs, vol, ExpectedMessages(n, ranks), ExpectedVolume(n, ranks))
+			}
+		} else if msgs == 0 || vol == 0 {
+			t.Fatal("overlap run counted no traffic")
+		}
+	}
+}

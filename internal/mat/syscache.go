@@ -1,0 +1,30 @@
+package mat
+
+import "sync"
+
+// sysCache memoises CachedSystem results. Generating a random system is
+// O(n²) work and O(n²) memory; the experiment grid asks for the same
+// (n, seed) cell from many concurrent runners, and solvers treat System
+// as read-only, so one shared instance serves them all.
+var sysCache sync.Map // sysKey → *System
+
+type sysKey struct {
+	n    int
+	seed int64
+}
+
+// CachedSystem returns the NewRandomSystem(n, seed) instance, generating
+// it at most once per process. Callers must treat the returned system —
+// including A's backing storage, B, and X — as immutable; every solver in
+// this repository already does (they copy what they factor). Callers that
+// need private mutable state should use NewRandomSystem directly.
+func CachedSystem(n int, seed int64) *System {
+	key := sysKey{n: n, seed: seed}
+	if v, ok := sysCache.Load(key); ok {
+		return v.(*System)
+	}
+	// Concurrent first requests may both generate; LoadOrStore keeps one,
+	// which is fine — generation is deterministic, so the copies are equal.
+	v, _ := sysCache.LoadOrStore(key, NewRandomSystem(n, seed))
+	return v.(*System)
+}

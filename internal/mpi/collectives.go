@@ -135,8 +135,13 @@ func (p *Proc) gather(c *Comm, root, me, tag int, data []float64) ([][]float64, 
 }
 
 // Allgather gathers equal-length contributions from every member and
-// delivers the full, comm-rank-indexed set to all of them
-// (gather-to-0 followed by a tree broadcast of the concatenation).
+// delivers the full, comm-rank-indexed set to all of them, using Bruck's
+// algorithm: ceil(log2 n) rounds in which every rank forwards the doubling
+// prefix of blocks it has collected so far. Compared to the gather+bcast
+// composition it replaces, no rank is a serial hot spot (the old root
+// received n−1 messages back to back) and the total volume drops from
+// (n−1)(n+1)·len(data) to n(n−1)·len(data); every rank sends exactly
+// TreeDepth(n) messages.
 func (p *Proc) Allgather(c *Comm, data []float64) ([][]float64, error) {
 	if _, err := c.Rank(p); err != nil {
 		return nil, err
@@ -144,9 +149,48 @@ func (p *Proc) Allgather(c *Comm, data []float64) ([][]float64, error) {
 	seq := p.nextSeq(c)
 	p.countCollective(opAllgather)
 	start := p.clock
-	out, err := p.allgather(c, seq, data)
+	out, err := p.allgatherBruck(c, seq, data)
 	p.recordCollective("allgather", start, len(data)*c.Size())
 	return out, err
+}
+
+// allgatherBruck runs the Bruck all-gather. After round k, block i of tmp
+// holds the contribution of comm rank (me+i) mod n for i < 2^(k+1); the
+// final rotation restores comm-rank indexing.
+func (p *Proc) allgatherBruck(c *Comm, seq int, data []float64) ([][]float64, error) {
+	me, err := c.Rank(p)
+	if err != nil {
+		return nil, err
+	}
+	size := c.Size()
+	per := len(data)
+	tmp := GetBuf(size * per)
+	copy(tmp[:per], data)
+	for k, step := 0, 1; step < size; k, step = k+1, step<<1 {
+		cnt := step
+		if size-step < cnt {
+			cnt = size - step
+		}
+		tag := ctag(seq, opAllgather, k)
+		if err := p.send(c, (me-step+size)%size, tag, tmp[:cnt*per]); err != nil {
+			return nil, err
+		}
+		got, err := p.recv(c, (me+step)%size, tag)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != cnt*per {
+			return nil, fmt.Errorf("mpi: allgather length mismatch: received %d elements in round %d, want %d (contributions must be equal length)",
+				len(got), k, cnt*per)
+		}
+		copy(tmp[step*per:], got)
+		PutBuf(got)
+	}
+	out := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		out[(me+i)%size] = tmp[i*per : (i+1)*per]
+	}
+	return out, nil
 }
 
 func (p *Proc) allgather(c *Comm, seq int, data []float64) ([][]float64, error) {

@@ -60,51 +60,65 @@ func (c *Comm) worldRank(commRank int) (int, error) {
 	return c.ranks[commRank], nil
 }
 
-// commBarrier is a reusable generation barrier that also merges virtual
+// commBarrier is a reusable dissemination barrier that also merges virtual
 // clocks: every participant leaves at max(arrival clocks) + barrier cost.
+//
+// The first engine funnelled every participant through one mutex/condvar,
+// which serialises all ranks of the world communicator at every barrier.
+// The dissemination scheme (Hensgen–Finkel–Manber) runs ceil(log2 n)
+// rounds; in round k, comm rank i passes its running clock maximum to rank
+// (i+2^k) mod n and merges the one arriving from (i−2^k) mod n. After the
+// last round every rank holds the exact global maximum — the same release
+// value the central barrier computed, bit for bit, with no shared hot
+// spot. Slot channels have capacity 1 and come in two generation-parity
+// sets: a rank can be at most one generation ahead of any rank it signals
+// (finishing generation g+1 transitively requires everyone to have
+// finished g), so same-parity reuse can never mix generations.
 type commBarrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	count    int
-	gen      uint64
-	maxClock float64
-	release  float64
+	once   sync.Once
+	rounds int
+	// slots[gen&1][round*size + receiver] carries one partial maximum.
+	slots [2][]chan float64
+}
+
+func (b *commBarrier) init(size int) {
+	b.once.Do(func() {
+		b.rounds = TreeDepth(size)
+		for par := range b.slots {
+			slots := make([]chan float64, b.rounds*size)
+			for i := range slots {
+				slots[i] = make(chan float64, 1)
+			}
+			b.slots[par] = slots
+		}
+	})
 }
 
 // Barrier synchronises all members of c (MPI_Barrier). The released clock
 // is the same for every rank; waiting is charged as busy polling.
 func (p *Proc) Barrier(c *Comm) error {
-	if _, err := c.Rank(p); err != nil {
+	me, err := c.Rank(p)
+	if err != nil {
 		return err
 	}
 	if m := p.w.metrics; m != nil {
 		m.barriers.Inc()
 	}
 	start := p.clock
-	b := &c.bar
-	b.mu.Lock()
-	if b.cond == nil {
-		b.cond = sync.NewCond(&b.mu)
-	}
-	if p.clock > b.maxClock {
-		b.maxClock = p.clock
-	}
-	b.count++
-	if b.count == len(c.ranks) {
-		b.release = b.maxClock + p.w.cost.BarrierTime(len(c.ranks))
-		b.count = 0
-		b.maxClock = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		gen := b.gen
-		for b.gen == gen {
-			b.cond.Wait()
+	size := len(c.ranks)
+	maxClock := p.clock
+	if size > 1 {
+		b := &c.bar
+		b.init(size)
+		slots := b.slots[p.nextBarGen(c)&1]
+		for k, step := 0, 1; k < b.rounds; k, step = k+1, step<<1 {
+			slots[k*size+(me+step)%size] <- maxClock
+			if v := <-slots[k*size+me]; v > maxClock {
+				maxClock = v
+			}
 		}
 	}
-	release := b.release
-	b.mu.Unlock()
-	p.waitUntil(release)
+	p.waitUntil(maxClock + p.w.cost.BarrierTime(size))
 	p.recordCollective("barrier", start, 0)
 	return nil
 }

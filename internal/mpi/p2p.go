@@ -48,12 +48,12 @@ func (p *Proc) sendOwned(c *Comm, dst, tag int, data []float64) error {
 	p.recordMsg("send", sendStart, p.clock, wdst, tag, len(data))
 	bytes := float64(len(data)) * Float64Bytes
 	arrive := p.clock + p.w.cost.Wire(p.w.sameNode(p.rank, wdst), bytes)
-	p.w.countTraffic(len(data))
+	p.w.countTraffic(p.rank, len(data))
 	if m := p.w.metrics; m != nil {
 		m.messages.Inc()
 		m.bytes.Add(bytes)
 	}
-	p.w.mail[wdst][p.rank] <- message{tag: tag, data: data, arriveAt: arrive}
+	p.txStream(wdst).put(message{tag: tag, data: data, arriveAt: arrive})
 	return nil
 }
 
@@ -83,24 +83,22 @@ func (p *Proc) recv(c *Comm, src, tag int) ([]float64, error) {
 		return nil, fmt.Errorf("mpi: rank %d: recv from self is not supported", p.rank)
 	}
 	// A previously stashed message with this tag matches first (it was
-	// sent earlier than anything still in the channel).
-	if stash := p.stash[wsrc]; len(stash) > 0 {
-		for i, msg := range stash {
-			if msg.tag == tag {
-				p.stash[wsrc] = append(stash[:i:i], stash[i+1:]...)
-				p.waitUntil(msg.arriveAt)
-				rs := p.clock
-				p.advanceBusy(p.w.cost.RecvOverhead, 0)
-				p.recordMsg("recv", rs, p.clock, wsrc, tag, len(msg.data))
-				if m := p.w.metrics; m != nil {
-					m.recvs.Inc()
-				}
-				return msg.data, nil
+	// sent earlier than anything still queued in the stream).
+	if sl := p.stash[wsrc]; sl != nil {
+		if msg, ok := sl.claim(tag); ok {
+			p.waitUntil(msg.arriveAt)
+			rs := p.clock
+			p.advanceBusy(p.w.cost.RecvOverhead, 0)
+			p.recordMsg("recv", rs, p.clock, wsrc, tag, len(msg.data))
+			if m := p.w.metrics; m != nil {
+				m.recvs.Inc()
 			}
+			return msg.data, nil
 		}
 	}
+	in := p.rxStream(wsrc)
 	for {
-		msg := <-p.w.mail[p.rank][wsrc]
+		msg := in.take()
 		if msg.tag == tag {
 			p.waitUntil(msg.arriveAt)
 			rs := p.clock
@@ -111,13 +109,18 @@ func (p *Proc) recv(c *Comm, src, tag int) ([]float64, error) {
 			}
 			return msg.data, nil
 		}
-		if p.stash == nil {
-			p.stash = make(map[int][]message)
+		sl := p.stash[wsrc]
+		if sl == nil {
+			if p.stash == nil {
+				p.stash = make(map[int]*stashList)
+			}
+			sl = &stashList{}
+			p.stash[wsrc] = sl
 		}
-		if len(p.stash[wsrc]) >= stashLimit {
+		if sl.count >= stashLimit {
 			return nil, fmt.Errorf("mpi: rank %d: %d unexpected messages from world rank %d while waiting for tag %d (first stashed tag %d)",
-				p.rank, stashLimit, wsrc, tag, p.stash[wsrc][0].tag)
+				p.rank, stashLimit, wsrc, tag, sl.head.msg.tag)
 		}
-		p.stash[wsrc] = append(p.stash[wsrc], msg)
+		sl.push(msg)
 	}
 }

@@ -18,9 +18,16 @@ type Proc struct {
 	// members to issue collectives in the same order, which makes the
 	// local counters agree and serve as matching tags.
 	seq map[*Comm]int
+	// barGen counts Barrier generations per communicator; all members
+	// agree on it for the same reason they agree on seq.
+	barGen map[*Comm]uint64
+	// tx/rx cache the sparse streams this rank has touched, so steady-
+	// state messaging skips the destination shard's lock (mailbox.go).
+	tx map[int]*stream
+	rx map[int]*stream
 	// stash buffers messages received out of tag order, per sending
 	// world rank (MPI unexpected-message queue).
-	stash map[int][]message
+	stash map[int]*stashList
 	// activity scales the dynamic core power charged while computing
 	// (1.0 = nominal). Solvers set it to their algorithm's activity factor
 	// so IMe's saturated streaming pipelines draw more power per busy
@@ -130,4 +137,15 @@ func (p *Proc) nextSeq(c *Comm) int {
 	s := p.seq[c]
 	p.seq[c] = s + 1
 	return s
+}
+
+// nextBarGen returns the generation of the next Barrier call on c. It is
+// counted apart from nextSeq so barriers don't perturb collective tags.
+func (p *Proc) nextBarGen(c *Comm) uint64 {
+	if p.barGen == nil {
+		p.barGen = make(map[*Comm]uint64)
+	}
+	g := p.barGen[c]
+	p.barGen[c] = g + 1
+	return g
 }

@@ -13,11 +13,18 @@
 //     used to validate the paper's M_IMeP / V_IMeP closed forms;
 //   - energy accounting: rank activity is charged to the simulated RAPL
 //     node hosting the rank (internal/rapl), which the PAPI layer reads.
+//
+// The engine is built to execute the paper's full deployments (Table 1,
+// up to 1296 ranks): message matching is sparse and lazy (mailbox.go),
+// barriers disseminate without a global serialization point (comm.go),
+// and the per-send counters are striped, so world setup is O(size) and
+// the hot paths contend only on genuinely shared state.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/power"
@@ -35,21 +42,48 @@ type Options struct {
 	Calibration power.Calibration
 }
 
+// rankLoc is a rank's precomputed placement, resolved once at world
+// construction so the per-operation accounting path never re-derives it.
+type rankLoc struct {
+	node   int32
+	socket int32
+}
+
+// trafficStripes is the stripe count of the traffic counters (power of
+// two). Sends stripe by sender rank, so concurrent senders hit different
+// cache lines instead of one global lock.
+const trafficStripes = 64
+
+// trafficStripe is one padded stripe of the message/volume counters. The
+// padding keeps adjacent stripes out of each other's cache lines.
+type trafficStripe struct {
+	messages atomic.Int64
+	volume   atomic.Int64
+	_        [48]byte
+}
+
+// nodeLock is a padded mutex so the per-node accounting locks of adjacent
+// nodes never share a cache line.
+type nodeLock struct {
+	sync.Mutex
+	_ [56]byte
+}
+
 // World is one simulated MPI job.
 type World struct {
 	size  int
 	cost  CostModel
 	cfg   *cluster.Config
+	loc   []rankLoc
 	nodes []*rapl.Node
 	// nodeMu serialises accounting into each shared rapl.Node, including
 	// its monotone clock.
-	nodeMu []sync.Mutex
-	// mail[dst][src] carries messages for the (src → dst) ordered stream.
-	mail [][]chan message
+	nodeMu []nodeLock
+	// mail[dst] is the destination rank's sparse matcher; per-(src,dst)
+	// streams are created lazily on first use (mailbox.go).
+	mail []mailShard
 
-	trafficMu sync.Mutex
-	messages  int64
-	volume    int64 // float64 elements
+	traffic [trafficStripes]trafficStripe
 
 	comms commRegistry
 
@@ -65,12 +99,8 @@ type message struct {
 	arriveAt float64 // virtual time the payload lands at the receiver
 }
 
-// mailboxDepth bounds eager buffering per rank pair; senders block beyond
-// it (standard buffered-send backpressure). Kept small because every world
-// preallocates size² mailboxes.
-const mailboxDepth = 64
-
-// NewWorld builds a world of size ranks.
+// NewWorld builds a world of size ranks. Construction is O(size): no
+// per-pair state is allocated until a pair actually communicates.
 func NewWorld(size int, opts Options) (*World, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: world size %d must be positive", size)
@@ -95,7 +125,7 @@ func NewWorld(size int, opts Options) (*World, error) {
 		nNodes = w.cfg.Nodes
 	}
 	w.nodes = make([]*rapl.Node, nNodes)
-	w.nodeMu = make([]sync.Mutex, nNodes)
+	w.nodeMu = make([]nodeLock, nNodes)
 	for i := range w.nodes {
 		n, err := rapl.NewNode(i, cal)
 		if err != nil {
@@ -103,13 +133,17 @@ func NewWorld(size int, opts Options) (*World, error) {
 		}
 		w.nodes[i] = n
 	}
-	w.mail = make([][]chan message, size)
-	for d := range w.mail {
-		w.mail[d] = make([]chan message, size)
-		for s := range w.mail[d] {
-			w.mail[d][s] = make(chan message, mailboxDepth)
+	w.loc = make([]rankLoc, size)
+	if w.cfg != nil {
+		for r := range w.loc {
+			l, err := w.cfg.RankLocation(r)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: rank %d has no placement: %w", r, err)
+			}
+			w.loc[r] = rankLoc{node: int32(l.Node), socket: int32(l.Socket)}
 		}
 	}
+	w.mail = make([]mailShard, size)
 	return w, nil
 }
 
@@ -123,48 +157,43 @@ func (w *World) Nodes() []*rapl.Node { return w.nodes }
 // Node returns the RAPL node hosting a world rank.
 func (w *World) Node(rank int) *rapl.Node { return w.nodes[w.nodeOf(rank)] }
 
-// location maps a world rank to (node, socket).
+// location maps a world rank to (node, socket) through the table resolved
+// at construction.
 func (w *World) location(rank int) (node, socket int) {
-	if w.cfg == nil {
-		return 0, 0
-	}
-	loc, err := w.cfg.RankLocation(rank)
-	if err != nil {
-		// Rank validity is enforced at world construction; reaching this
-		// indicates internal corruption.
-		panic(err)
-	}
-	return loc.Node, loc.Socket
+	l := w.loc[rank]
+	return int(l.node), int(l.socket)
 }
 
-func (w *World) nodeOf(rank int) int {
-	n, _ := w.location(rank)
-	return n
-}
+func (w *World) nodeOf(rank int) int { return int(w.loc[rank].node) }
 
 // sameNode reports whether two world ranks share a node.
-func (w *World) sameNode(a, b int) bool { return w.nodeOf(a) == w.nodeOf(b) }
+func (w *World) sameNode(a, b int) bool { return w.loc[a].node == w.loc[b].node }
 
-// countTraffic records one message of n float64 elements.
-func (w *World) countTraffic(elements int) {
-	w.trafficMu.Lock()
-	w.messages++
-	w.volume += int64(elements)
-	w.trafficMu.Unlock()
+// countTraffic records one message of n float64 elements sent by rank.
+// Counters are striped by sender, so the aggregate is exact while
+// concurrent senders stay off each other's cache lines.
+func (w *World) countTraffic(rank, elements int) {
+	s := &w.traffic[rank&(trafficStripes-1)]
+	s.messages.Add(1)
+	s.volume.Add(int64(elements))
 }
 
 // Traffic returns the total messages and float64 volume exchanged so far.
 func (w *World) Traffic() (messages, volume int64) {
-	w.trafficMu.Lock()
-	defer w.trafficMu.Unlock()
-	return w.messages, w.volume
+	for i := range w.traffic {
+		messages += w.traffic[i].messages.Load()
+		volume += w.traffic[i].volume.Load()
+	}
+	return messages, volume
 }
 
-// ResetTraffic zeroes the traffic counters (used to separate phases).
+// ResetTraffic zeroes the traffic counters (used to separate phases; call
+// it at a quiescent point, not concurrently with in-flight sends).
 func (w *World) ResetTraffic() {
-	w.trafficMu.Lock()
-	w.messages, w.volume = 0, 0
-	w.trafficMu.Unlock()
+	for i := range w.traffic {
+		w.traffic[i].messages.Store(0)
+		w.traffic[i].volume.Store(0)
+	}
 }
 
 // capSlowdown returns the compute-time stretch a socket's power cap

@@ -3,8 +3,8 @@
 // sizes the executable simulated-MPI engine cannot reach in reasonable
 // wall time. It shares every cost constant with the executable solvers
 // (ime.EffFlopsPerCore, scalapack.DramBytesPerFlop, mpi.CostModel, the
-// power calibration) and is cross-checked against them at small scale in
-// crosscheck_test.go.
+// power calibration) and is cross-checked against them from 2 up to 576
+// ranks in crosscheck_test.go.
 //
 // Modelling assumptions, each tied to an algorithmic property:
 //
