@@ -1,0 +1,77 @@
+// advisord serves the energy advisor over JSON HTTP — the paper's §1
+// scenario ("programmers could take informed decisions to augment the
+// energy efficiency of linear systems resolutions") as shared
+// infrastructure rather than an in-process call:
+//
+//	GET  /v1/recommend  solver recommendation for a job shape
+//	GET  /v1/predict    modelled energy/time/power for one solver
+//	POST /v1/sweep      batched grid cells on the worker pool
+//	GET  /metrics       Prometheus exposition
+//	GET  /healthz       liveness/readiness (503 while draining)
+//
+// The serving layer caches results (LRU+TTL over canonicalized
+// requests), coalesces concurrent identical requests into one
+// computation, and bounds admission (semaphore + bounded queue with
+// 429/503 shedding). SIGINT/SIGTERM drains gracefully: new computations
+// are refused while in-flight requests complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheEntries = flag.Int("cache-entries", 4096, "result cache capacity (bodies)")
+		cacheTTL     = flag.Duration("cache-ttl", time.Hour, "result cache TTL (<0 disables expiry)")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent model computations (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue bound (0 = 4x max-inflight)")
+		timeout      = flag.Duration("timeout", 15*time.Second, "per-request deadline")
+		workers      = flag.Int("j", 0, "sweep worker budget (0 = GOMAXPROCS)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		CacheEntries:   *cacheEntries,
+		CacheTTL:       *cacheTTL,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *timeout,
+		SweepWorkers:   *workers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		s := <-sig
+		log.Printf("advisord: %v: draining (up to %v)", s, *drainWait)
+		svc.Drain() // refuse new computations; healthz flips to 503
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("advisord: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("advisord: listening on %s", *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("advisord: %v", err)
+	}
+	<-done
+	log.Print("advisord: drained, bye")
+}

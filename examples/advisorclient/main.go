@@ -1,0 +1,86 @@
+// Advisor client: queries a running advisord (start one with
+// `go run ./cmd/advisord`) for solver recommendations across the paper
+// grid, then demonstrates the serving layer's result cache by timing a
+// cold 72-cell paper sweep against its warm repeat.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	base := flag.String("addr", "http://127.0.0.1:8080", "advisord base URL")
+	flag.Parse()
+
+	fmt.Printf("%-8s %-6s | %-12s | %10s | %s\n", "n", "ranks", "best", "margin", "energy (IMe vs ScaLAPACK)")
+	for _, n := range cluster.PaperMatrixDims() {
+		for _, ranks := range cluster.PaperRankCounts() {
+			q := url.Values{}
+			q.Set("n", fmt.Sprint(n))
+			q.Set("ranks", fmt.Sprint(ranks))
+			q.Set("objective", "min-energy")
+			var rec server.RecommendResponse
+			if err := getJSON(*base+"/v1/recommend?"+q.Encode(), &rec); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8d %-6d | %-12s | %9.1f%% | %8.0f J vs %8.0f J\n",
+				n, ranks, rec.Best, rec.MarginPct, rec.IMe.TotalJ, rec.ScaLAPACK.TotalJ)
+		}
+	}
+
+	body := []byte(`{"grid":"paper"}`)
+	cold, coldT, err := postSweep(*base, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, warmT, err := postSweep(*base, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := bytes.Equal(cold, warm)
+	fmt.Printf("\npaper sweep (72 cells): cold %v, warm %v, bodies byte-identical: %v\n", coldT, warmT, same)
+	if !same {
+		log.Fatal("cache invariant violated: warm sweep body differs from cold")
+	}
+}
+
+func getJSON(u string, v any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func postSweep(base string, body []byte) ([]byte, time.Duration, error) {
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("POST /v1/sweep: %s: %s", resp.Status, b)
+	}
+	return b, time.Since(start).Round(time.Millisecond), nil
+}

@@ -97,6 +97,17 @@ func (p Placement) String() string {
 	}
 }
 
+// ParsePlacement is the inverse of Placement.String, for request-driven
+// callers (the advisor service) that receive placements as text.
+func ParsePlacement(s string) (Placement, error) {
+	for _, p := range Placements() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown placement %q (want full-load, half-load-1-socket or half-load-2-sockets)", s)
+}
+
 // Config is one resolved job configuration: a rank count placed on a
 // machine. It corresponds to one row of the paper's Table 1.
 type Config struct {

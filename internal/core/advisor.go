@@ -39,6 +39,22 @@ func (o Objective) String() string {
 	}
 }
 
+// Objectives lists all advisor objectives.
+func Objectives() []Objective {
+	return []Objective{MinEnergy, MinTime, MaxEfficiency}
+}
+
+// ParseObjective is the inverse of Objective.String, for request-driven
+// callers (the advisor service) that receive objectives as text.
+func ParseObjective(s string) (Objective, error) {
+	for _, o := range Objectives() {
+		if s == o.String() {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown objective %q (want min-energy, min-time or max-gflops-per-watt)", s)
+}
+
 // Recommendation is the advisor's verdict for one job shape.
 type Recommendation struct {
 	Objective Objective

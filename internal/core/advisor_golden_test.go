@@ -1,0 +1,103 @@
+package core_test
+
+// Golden pinning of the advisor's verdicts across the paper grid: every
+// PaperMatrixDims × PaperRankCounts cell under all three objectives at
+// the serving default (full load, overlap on). The advisor is now served
+// over HTTP by internal/server, so a serving-layer or model refactor
+// that silently changes advice — not just energies — must trip a test.
+//
+// Regenerate with:
+//
+//	go test ./internal/core -run TestAdvisorGolden -update-goldens
+//
+// against a known-good model, never together with a model change.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// advisorGoldenRow pins one (shape, objective) verdict.
+type advisorGoldenRow struct {
+	N         int     `json:"n"`
+	Ranks     int     `json:"ranks"`
+	Objective string  `json:"objective"`
+	Best      string  `json:"best"`
+	Margin    float64 `json:"margin"`
+}
+
+const advisorGoldenPath = "testdata/advisor_golden.json"
+
+// marginTol is the relative tolerance on pinned margins; verdicts are
+// exact. The analytic model is pure float64 arithmetic, but margins are
+// ratios of large energies, so allow rounding-level drift.
+const marginTol = 1e-12
+
+func computeAdvisorGolden(t *testing.T) []advisorGoldenRow {
+	t.Helper()
+	prm := perfmodel.Params{Overlap: true}
+	var rows []advisorGoldenRow
+	for _, n := range cluster.PaperMatrixDims() {
+		for _, ranks := range cluster.PaperRankCounts() {
+			for _, obj := range core.Objectives() {
+				rec, err := core.Recommend(n, ranks, cluster.FullLoad, obj, prm)
+				if err != nil {
+					t.Fatalf("Recommend(%d, %d, %v): %v", n, ranks, obj, err)
+				}
+				rows = append(rows, advisorGoldenRow{
+					N: n, Ranks: ranks, Objective: obj.String(),
+					Best: rec.Best.String(), Margin: rec.Margin,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+func TestAdvisorGolden(t *testing.T) {
+	got := computeAdvisorGolden(t)
+	if *updateGoldens {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(advisorGoldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d rows to %s", len(got), advisorGoldenPath)
+		return
+	}
+	b, err := os.ReadFile(advisorGoldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update-goldens): %v", err)
+	}
+	var want []advisorGoldenRow
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("grid has %d verdicts, golden has %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.N != w.N || g.Ranks != w.Ranks || g.Objective != w.Objective {
+			t.Fatalf("row %d is (%d, %d, %s), golden is (%d, %d, %s): grid enumeration changed",
+				i, g.N, g.Ranks, g.Objective, w.N, w.Ranks, w.Objective)
+		}
+		if g.Best != w.Best {
+			t.Errorf("n=%d ranks=%d %s: recommends %s, golden %s (margin %.4f vs %.4f)",
+				g.N, g.Ranks, g.Objective, g.Best, w.Best, g.Margin, w.Margin)
+			continue
+		}
+		if diff := math.Abs(g.Margin - w.Margin); diff > marginTol*math.Max(math.Abs(w.Margin), 1) {
+			t.Errorf("n=%d ranks=%d %s: margin %.17g, golden %.17g",
+				g.N, g.Ranks, g.Objective, g.Margin, w.Margin)
+		}
+	}
+}

@@ -1,30 +1,50 @@
 package mat
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // sysCache memoises CachedSystem results. Generating a random system is
 // O(n²) work and O(n²) memory; the experiment grid asks for the same
 // (n, seed) cell from many concurrent runners, and solvers treat System
 // as read-only, so one shared instance serves them all.
-var sysCache sync.Map // sysKey → *System
+var sysCache sync.Map // sysKey → *sysEntry
 
 type sysKey struct {
 	n    int
 	seed int64
 }
 
+// sysEntry single-flights generation: the entry is published to the map
+// before the system exists, and the Once makes exactly one caller build
+// it while latecomers block until it is ready.
+type sysEntry struct {
+	once sync.Once
+	sys  *System
+}
+
+// sysGenerations counts cold-key builds; tests assert racing first
+// requests cost one generation, not one per caller.
+var sysGenerations atomic.Int64
+
 // CachedSystem returns the NewRandomSystem(n, seed) instance, generating
-// it at most once per process. Callers must treat the returned system —
-// including A's backing storage, B, and X — as immutable; every solver in
-// this repository already does (they copy what they factor). Callers that
+// it at most once per process — concurrent first requests for the same
+// key share a single generation (the losers wait rather than redoing the
+// O(n²) build). Callers must treat the returned system — including A's
+// backing storage, B, and X — as immutable; every solver in this
+// repository already does (they copy what they factor). Callers that
 // need private mutable state should use NewRandomSystem directly.
 func CachedSystem(n int, seed int64) *System {
 	key := sysKey{n: n, seed: seed}
-	if v, ok := sysCache.Load(key); ok {
-		return v.(*System)
+	v, ok := sysCache.Load(key)
+	if !ok {
+		v, _ = sysCache.LoadOrStore(key, &sysEntry{})
 	}
-	// Concurrent first requests may both generate; LoadOrStore keeps one,
-	// which is fine — generation is deterministic, so the copies are equal.
-	v, _ := sysCache.LoadOrStore(key, NewRandomSystem(n, seed))
-	return v.(*System)
+	e := v.(*sysEntry)
+	e.once.Do(func() {
+		sysGenerations.Add(1)
+		e.sys = NewRandomSystem(n, seed)
+	})
+	return e.sys
 }

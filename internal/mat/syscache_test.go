@@ -1,0 +1,67 @@
+package mat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// coldSeed hands out a fresh seed per test invocation so repeated runs
+// in one process (-count=N) each start from a cold key.
+var coldSeed atomic.Int64
+
+// TestCachedSystemMatchesFreshGeneration pins the memoised instance to
+// the direct constructor.
+func TestCachedSystemMatchesFreshGeneration(t *testing.T) {
+	got := CachedSystem(17, 42)
+	want := NewRandomSystem(17, 42)
+	if got.A.Rows() != want.A.Rows() || got.A.Cols() != want.A.Cols() {
+		t.Fatalf("cached system shape %dx%d, want %dx%d", got.A.Rows(), got.A.Cols(), want.A.Rows(), want.A.Cols())
+	}
+	for i := range want.B {
+		if got.B[i] != want.B[i] {
+			t.Fatalf("B[%d] = %g, want %g", i, got.B[i], want.B[i])
+		}
+	}
+	if CachedSystem(17, 42) != got {
+		t.Fatal("repeat lookup returned a different instance")
+	}
+}
+
+// TestCachedSystemColdKeySingleFlight races many goroutines on a cold
+// key: all must observe the same instance and the build must run exactly
+// once (run under -race in CI).
+func TestCachedSystemColdKeySingleFlight(t *testing.T) {
+	const goroutines = 64
+	seed := 987654321 + coldSeed.Add(1)
+	before := sysGenerations.Load()
+
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		gate  = make(chan struct{})
+		got   [goroutines]*System
+	)
+	start.Add(goroutines)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Done()
+			<-gate // maximise the cold-key collision
+			got[i] = CachedSystem(23, seed)
+		}(i)
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different instance", i)
+		}
+	}
+	if n := sysGenerations.Load() - before; n != 1 {
+		t.Fatalf("cold key generated %d times, want exactly 1", n)
+	}
+}

@@ -26,6 +26,7 @@ package perfmodel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
@@ -58,6 +59,17 @@ func (a Algorithm) String() string {
 
 // Algorithms lists both solvers in paper order.
 func Algorithms() []Algorithm { return []Algorithm{IMe, ScaLAPACK} }
+
+// ParseAlgorithm is the inverse of Algorithm.String (case-insensitive),
+// for request-driven callers that receive algorithm names as text.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(s, a.String()) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("perfmodel: unknown algorithm %q (want IMe or ScaLAPACK)", s)
+}
 
 // Params configures a model run.
 type Params struct {
@@ -104,6 +116,16 @@ func (prm Params) jitterFactors() (fTime, fPower float64) {
 	h2 := next(h1)
 	unit := func(h uint64) float64 { return float64(h%(1<<20))/float64(1<<20)*2 - 1 } // in [-1,1)
 	return 1 + v*unit(h1), 1 + v*unit(h2)
+}
+
+// Normalized returns the params with every defaulted field resolved to
+// its concrete value (cost model, calibration, block size). Two Params
+// that normalize equal produce identical model outputs, which is what
+// lets request-driven callers use the normalized value as a cache
+// identity.
+func (prm Params) Normalized() Params {
+	prm.normalize()
+	return prm
 }
 
 func (prm *Params) normalize() {

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache is an LRU+TTL byte cache for marshalled response bodies.
+//
+// The advisor's workloads are deterministic pure functions of the
+// canonicalized request (the analytic engine has no hidden state), so a
+// cached body is not an approximation of a fresh compute — it IS the
+// fresh compute, byte for byte. Capacity is bounded by entry count (the
+// grid of plausible requests is small and bodies are a few KB), and the
+// TTL exists to bound memory residency, not staleness.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration // <= 0: entries never expire
+	now   func() time.Time
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	expires time.Time // zero: never
+}
+
+// NewCache returns a cache holding at most maxEntries bodies, each for
+// at most ttl (ttl <= 0 disables expiry). maxEntries must be positive.
+func NewCache(maxEntries int, ttl time.Duration) *Cache {
+	if maxEntries <= 0 {
+		panic("server: cache capacity must be positive")
+	}
+	return &Cache{
+		max:   maxEntries,
+		ttl:   ttl,
+		now:   time.Now,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, maxEntries),
+	}
+}
+
+// Get returns the cached body for key, refreshing its recency. Expired
+// entries are evicted on access and report a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.body, true
+}
+
+// Put stores body under key as the most recent entry, evicting the least
+// recently used entry beyond capacity. The caller must not mutate body
+// afterwards (handlers never do: bodies are write-once marshal results).
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.body, e.expires = body, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, expires: expires})
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// Len returns the number of resident entries (expired ones included
+// until touched).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	delete(c.items, el.Value.(*cacheEntry).key)
+	c.ll.Remove(el)
+}

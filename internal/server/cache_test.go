@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes the LRU victim
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be resident")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCache(8, time.Minute)
+	c.now = func() time.Time { return now }
+	c.Put("k", []byte("V"))
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired early")
+	}
+	now = now.Add(2 * time.Second) // 61s after Put, but Get refreshed nothing: TTL is from Put
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry should have expired")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still resident, len = %d", c.Len())
+	}
+	// Re-Put restarts the clock.
+	c.Put("k", []byte("V2"))
+	now = now.Add(30 * time.Second)
+	if b, ok := c.Get("k"); !ok || string(b) != "V2" {
+		t.Fatalf("re-put entry = %q, %v", b, ok)
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c := NewCache(4, 0)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if b, _ := c.Get("k"); string(b) != "new" {
+		t.Fatalf("got %q, want new", b)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(64, time.Minute)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, []byte(k))
+				if b, ok := c.Get(k); ok && string(b) != k {
+					t.Errorf("got %q under key %q", b, k)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Coalescer deduplicates concurrent identical computations (singleflight):
+// the first caller for a key becomes the leader and runs the function;
+// followers arriving while it is in flight block on the same result.
+// Combined with the response cache this gives the serving layer its core
+// guarantee: N concurrent identical requests cost exactly one model
+// evaluation — the leader computes, followers share, and everyone after
+// completion hits the cache.
+type Coalescer struct {
+	mu    sync.Mutex
+	calls map[string]*coalescedCall
+}
+
+type coalescedCall struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+// NewCoalescer returns an empty coalescer.
+func NewCoalescer() *Coalescer {
+	return &Coalescer{calls: make(map[string]*coalescedCall)}
+}
+
+// Do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call's result instead. The returned
+// shared flag is true for followers. A follower stops waiting when its
+// ctx expires (the leader keeps computing — its result still lands in
+// the cache for future requests). The leader runs fn to completion
+// regardless of ctx so a storm of short-deadline followers cannot starve
+// the computation they are all waiting on.
+func (c *Coalescer) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	c.mu.Lock()
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.body, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &coalescedCall{done: make(chan struct{})}
+	c.calls[key] = call
+	c.mu.Unlock()
+
+	call.body, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.body, false, call.err
+}
+
+// Inflight returns the number of distinct keys currently being computed.
+func (c *Coalescer) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.calls)
+}

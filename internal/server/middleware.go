@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// instrument wraps a route handler with the cross-cutting serving
+// concerns: the per-request deadline (which the admission queue and
+// coalesced waits honour), the in-flight gauge, the latency histogram
+// and the (endpoint, code) request counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.m.httpInflight.Add(1)
+		defer s.m.httpInflight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+
+		s.m.endpoint(endpoint).latency.Observe(time.Since(start).Seconds())
+		s.m.requests(endpoint, sw.code).Inc()
+	})
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// writeBody writes a pre-marshalled JSON body verbatim — cached and cold
+// responses go through this single path, which is what makes them
+// byte-identical.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	body, err := json.Marshal(ErrorResponse{Status: code, Error: msg})
+	if err != nil { // ErrorResponse cannot fail to marshal
+		body = []byte(`{"status":500,"error":"error encoding error"}`)
+	}
+	writeBody(w, code, append(body, '\n'))
+}
+
+// marshalBody renders a response value the one canonical way (stable
+// field order, trailing newline) so that equal values yield equal bytes.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

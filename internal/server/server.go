@@ -1,0 +1,217 @@
+// Package server is the advisor service: a production HTTP serving layer
+// over the calibrated model and the experiment grid. It turns the
+// paper's motivating scenario — "programmers could take informed
+// decisions to augment the energy efficiency of linear systems
+// resolutions" (§1) — from an in-process call into shared
+// infrastructure, the form related work (EfiMon's analyser service, the
+// CEEC experience report) argues energy tooling needs to be adopted.
+//
+// Every compute endpoint runs the same pipeline:
+//
+//	parse+canonicalize → cache → coalesce → admit → compute
+//
+// with these invariants:
+//
+//  1. Responses are byte-identical whether served cold or from cache:
+//     the cache stores the marshalled body produced by the one compute,
+//     never a re-rendering. The workloads are deterministic pure
+//     functions of the canonicalized request, so hits are exact.
+//  2. N concurrent identical requests perform exactly one model
+//     evaluation: the coalescer elects a leader, followers share its
+//     result, and later arrivals hit the cache.
+//  3. Admission is bounded twice — concurrent computations by a
+//     semaphore, waiters by a queue cap — and excess load is shed
+//     immediately (429 Retry-After) rather than queued to time out.
+//     Queued waiters honour the request deadline (504).
+//  4. Draining admits no new computations (503 Retry-After) while
+//     in-flight requests complete.
+//
+// Only the leader's computation consumes an admission slot; cache hits
+// and coalesced followers bypass the limiter entirely, so a hot working
+// set keeps serving even when the compute slots are saturated.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the serving layer. The zero value of every field selects
+// a production-reasonable default.
+type Config struct {
+	// CacheEntries bounds the result cache (default 4096 bodies).
+	CacheEntries int
+	// CacheTTL bounds how long a body stays cached (default 1h;
+	// negative disables expiry — results are deterministic, the TTL
+	// only bounds memory residency).
+	CacheTTL time.Duration
+	// MaxInflight bounds concurrent model computations (default
+	// GOMAXPROCS — evaluations are CPU-bound).
+	MaxInflight int
+	// MaxQueue bounds computations waiting for a slot (default
+	// 4×MaxInflight); beyond it requests are shed with 429.
+	MaxQueue int
+	// RequestTimeout is the per-request deadline covering queue wait
+	// and coalesced waits (default 15s).
+	RequestTimeout time.Duration
+	// SweepWorkers is the grid worker budget one sweep fans out over
+	// (default GOMAXPROCS).
+	SweepWorkers int
+	// Registry receives the server's instruments (default: a fresh
+	// registry, exposed at /metrics either way).
+	Registry *telemetry.Registry
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = time.Hour
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the advisor service. Construct with New; all methods are
+// safe for concurrent use.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	coal     *Coalescer
+	lim      *Limiter
+	runner   *grid.Runner
+	m        *metrics
+	draining atomic.Bool
+
+	// Evaluators, injectable by tests to count/delay computations; New
+	// wires the real model. Handlers only reach the model through these.
+	evalRecommend func(RecommendRequest) (RecommendResponse, error)
+	evalPredict   func(PredictRequest) (PredictResponse, error)
+	evalSweep     func(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResponse, error)
+}
+
+// New returns a Server computing with the real calibrated model.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		coal:   NewCoalescer(),
+		lim:    NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		runner: grid.New(cfg.SweepWorkers),
+		m:      newMetrics(cfg.Registry),
+	}
+	s.lim.inflightGauge = cfg.Registry.Gauge("server_compute_inflight", "Model computations currently holding an admission slot.")
+	s.lim.queueGauge = cfg.Registry.Gauge("server_queue_depth", "Computations waiting for an admission slot.")
+	s.evalRecommend = evalRecommend
+	s.evalPredict = evalPredict
+	s.evalSweep = evalSweep
+	return s
+}
+
+// Registry returns the registry backing /metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
+
+// Drain puts the server into shutdown mode: /healthz flips to 503, new
+// computations are refused with 503 Retry-After, and in-flight requests
+// (and cache hits, which cost nothing) keep completing. Pair with
+// http.Server.Shutdown, which stops accepting connections and waits for
+// handlers to return.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/recommend", s.instrument("recommend", s.handleRecommend))
+	mux.Handle("GET /v1/predict", s.instrument("predict", s.handlePredict))
+	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	return mux
+}
+
+// serveCached runs the cache → coalesce → admit → compute pipeline for
+// one request and writes the response. compute must return the final
+// marshalled body; it runs at most once across all concurrent identical
+// requests.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
+	em := s.m.endpoint(endpoint)
+	if body, ok := s.cache.Get(key); ok {
+		em.hits.Inc()
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	em.misses.Inc()
+	ctx := r.Context()
+	body, shared, err := s.coal.Do(ctx, key, func() ([]byte, error) {
+		if s.draining.Load() {
+			return nil, ErrDraining
+		}
+		if err := s.lim.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.lim.Release()
+		em.compute.Inc()
+		b, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if shared {
+		em.coalesced.Inc()
+	}
+	if err != nil {
+		s.writeComputeError(w, endpoint, err)
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// writeComputeError maps pipeline failures onto shedding semantics:
+// bounded-queue overflow is 429 (come back soon — the queue drains at
+// compute speed), draining is 503 (come back after the deploy), an
+// expired deadline is 504, and a model-evaluation error is 422 (the
+// request parsed but names an infeasible job shape, e.g. an IMe rank
+// count that is not a perfect square).
+func (s *Server) writeComputeError(w http.ResponseWriter, endpoint string, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.m.shed(endpoint, "queue-full").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+	case errors.Is(err, ErrDraining):
+		s.m.shed(endpoint, "draining").Inc()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.shed(endpoint, "deadline").Inc()
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "model evaluation failed: "+err.Error())
+	}
+}
