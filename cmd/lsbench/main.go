@@ -46,9 +46,13 @@ func main() {
 	tracePath := flag.String("trace", "", "run an instrumented reference experiment and write its Perfetto trace JSON here")
 	metricsPath := flag.String("metrics", "", "run an instrumented reference experiment and write its Prometheus exposition here")
 	workers := flag.Int("j", 1, "concurrent artifact builders (0 = GOMAXPROCS); output is identical for every value")
+	faults := flag.Bool("faults", false, "additionally build the resilience artifact: both solvers under a seed-driven crash schedule")
+	mtbf := flag.Float64("mtbf", 0, "with -faults: mean time between rank crashes in virtual seconds (0 = sweep around the fault-free makespan)")
+	seed := flag.Int64("seed", 5, "with -faults: crash-schedule seed")
 	flag.Parse()
 
-	if err := run(os.Stdout, *figure, *format, !*noOverlap, *capW, *nb, *outdir, *workers); err != nil {
+	if err := run(os.Stdout, *figure, *format, !*noOverlap, *capW, *nb, *outdir, *workers,
+		faultsConfig{enabled: *faults, mtbf: *mtbf, seed: *seed}); err != nil {
 		fmt.Fprintf(os.Stderr, "lsbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -119,7 +123,16 @@ func runInstrumented(w io.Writer, tracePath, metricsPath string) error {
 	return nil
 }
 
-func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string, workers int) error {
+// faultsConfig carries the resilience artifact's flags. The artifact is
+// strictly opt-in: without -faults the output of every -figure value is
+// byte-identical to earlier releases.
+type faultsConfig struct {
+	enabled bool
+	mtbf    float64
+	seed    int64
+}
+
+func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string, workers int, faults faultsConfig) error {
 	runner := grid.New(workers)
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
@@ -221,8 +234,19 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 		},
 	}
 
+	if faults.enabled {
+		artifacts["resilience"] = func() (*report.Table, error) {
+			return core.ResilienceArtifact(faults.mtbf, faults.seed)
+		}
+	} else if figure == "resilience" {
+		return fmt.Errorf("the resilience artifact requires -faults")
+	}
+
 	if figure == "all" {
 		names := []string{"table1", "3", "4", "5", "6", "7", "sockets", "messages", "ablation", "blocksize", "slurm", "repetitions", "breakdown"}
+		if faults.enabled {
+			names = append(names, "resilience")
+		}
 		// Build every artifact concurrently under the worker budget, then
 		// emit serially in the canonical order: the output is byte-identical
 		// to the serial loop, only the wall time changes.

@@ -2,6 +2,10 @@
 // checksum-based recovery from a hard rank failure mid-solve, without
 // checkpoint/restart. A rank's table block is wiped halfway through the
 // reduction; the checksum rows rebuild it and the solve finishes exactly.
+//
+// Faults are described as fault.Schedule events — the same currency the
+// engine injector, the MTBF generator and core.RunResilient speak — with
+// Level > 0 marking solver-level faults that IMe recovers in place.
 package main
 
 import (
@@ -9,6 +13,7 @@ import (
 	"log"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/ime"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -25,21 +30,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, fault := range []struct {
-		level int
-		ranks []int
-		desc  string
+	for _, fc := range []struct {
+		events []fault.Event
+		desc   string
 	}{
-		{0, nil, "no fault (checksummed baseline)"},
-		{n / 2, []int{3}, "rank 3 dies halfway through the reduction"},
-		{n, []int{5}, "rank 5 dies before the first level"},
-		{1, []int{1}, "rank 1 dies right before the last level"},
-		{n / 3, []int{2, 4}, "ranks 2 and 4 die simultaneously"},
-		{n / 2, []int{1, 3, 5}, "three ranks die simultaneously"},
+		{nil, "no fault (checksummed baseline)"},
+		{[]fault.Event{{Level: n / 2, Ranks: []int{3}}},
+			"rank 3 dies halfway through the reduction"},
+		{[]fault.Event{{Level: n, Ranks: []int{5}}},
+			"rank 5 dies before the first level"},
+		{[]fault.Event{{Level: 1, Ranks: []int{1}}},
+			"rank 1 dies right before the last level"},
+		{[]fault.Event{{Level: n / 3, Ranks: []int{2, 4}}},
+			"ranks 2 and 4 die simultaneously"},
+		{[]fault.Event{{Level: n / 2, Ranks: []int{1, 3, 5}}},
+			"three ranks die simultaneously"},
 	} {
-		x, err := solveWithFault(sys, ranks, fault.level, fault.ranks)
+		var sched *fault.Schedule
+		if len(fc.events) > 0 {
+			sched = &fault.Schedule{Events: fc.events}
+		}
+		x, err := solveWithFaults(sys, ranks, sched)
 		if err != nil {
-			log.Fatalf("%s: %v", fault.desc, err)
+			log.Fatalf("%s: %v", fc.desc, err)
 		}
 		var maxDiff float64
 		for i := range x {
@@ -52,14 +65,14 @@ func main() {
 			}
 		}
 		fmt.Printf("%-48s residual %.3g, max deviation from fault-free run %.3g\n",
-			fault.desc, mat.RelativeResidual(sys.A, x, sys.B), maxDiff)
+			fc.desc, mat.RelativeResidual(sys.A, x, sys.B), maxDiff)
 	}
 	fmt.Println("\nThe checksum rows obey the same fundamental formula as data rows,")
 	fmt.Println("so one allreduce per row group rebuilds a lost block exactly —")
 	fmt.Println("IMe's low-cost alternative to Gaussian elimination's checkpoint/restart.")
 }
 
-func solveWithFault(sys *mat.System, ranks, level int, faults []int) ([]float64, error) {
+func solveWithFaults(sys *mat.System, ranks int, sched *fault.Schedule) ([]float64, error) {
 	w, err := mpi.NewWorld(ranks, mpi.Options{})
 	if err != nil {
 		return nil, err
@@ -68,10 +81,9 @@ func solveWithFault(sys *mat.System, ranks, level int, faults []int) ([]float64,
 	var x []float64
 	err = w.Run(func(p *mpi.Proc) error {
 		sol, err := ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{
-			Checksum:         true,
-			ChecksumSets:     3,
-			InjectFaultLevel: level,
-			InjectFaultRanks: faults,
+			Checksum:       true,
+			ChecksumSets:   3,
+			InjectSchedule: sched,
 		})
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/mpi"
@@ -33,6 +34,12 @@ type ParallelOptions struct {
 	InjectFaultLevel int
 	InjectFaultRank  int
 	InjectFaultRanks []int
+	// InjectSchedule drives multi-event injection from a fault.Schedule:
+	// every event with Level > 0 wipes its Ranks right before that
+	// elimination level is processed (engine-level Time events are the
+	// mpi injector's business and are ignored here). Merged with the
+	// single-level legacy fields above. Requires Checksum.
+	InjectSchedule *fault.Schedule
 	// DistributeInput switches from the paper's shared-file input model
 	// (every rank passes the same system) to master-reads-and-scatters:
 	// only comm rank 0 needs sys; the table blocks travel over an
@@ -47,6 +54,24 @@ func (o ParallelOptions) faultRanks() []int {
 		return o.InjectFaultRanks
 	}
 	return []int{o.InjectFaultRank}
+}
+
+// faultLevels merges the legacy single-level fields and the schedule's
+// Level events into one level → fault-rank-set map.
+func (o ParallelOptions) faultLevels() map[int][]int {
+	levels := map[int][]int{}
+	if o.Checksum && o.InjectFaultLevel > 0 {
+		levels[o.InjectFaultLevel] = append(levels[o.InjectFaultLevel], o.faultRanks()...)
+	}
+	if o.InjectSchedule != nil {
+		for _, ev := range o.InjectSchedule.Events {
+			if ev.Level <= 0 {
+				continue
+			}
+			levels[ev.Level] = append(levels[ev.Level], ev.Ranks...)
+		}
+	}
+	return levels
 }
 
 // masterRank is comm rank 0: the paper's master that owns the auxiliary
@@ -96,8 +121,13 @@ func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptio
 	}
 	st.attachMetrics(p)
 
+	faultLevels := opts.faultLevels()
+	if opts.InjectSchedule != nil && len(faultLevels) > 0 && !opts.Checksum {
+		return nil, fmt.Errorf("ime: a solver-level fault schedule requires checksum rows")
+	}
+
 	if opts.Overlap {
-		if opts.InjectFaultLevel > 0 {
+		if opts.InjectFaultLevel > 0 || len(faultLevels) > 0 {
 			return nil, fmt.Errorf("ime: fault injection requires the synchronous variant")
 		}
 		return solveOverlapped(p, c, sys, st, opts, me)
@@ -132,9 +162,14 @@ func SolveParallel(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptio
 	}
 
 	for l := n; l >= 1; l-- {
-		if opts.Checksum && opts.InjectFaultLevel == l {
-			if err := st.injectAndRecover(p, c, opts.faultRanks()); err != nil {
+		if ranks, ok := faultLevels[l]; ok {
+			rp := p.BeginPhase("checksum-recovery", l)
+			if err := st.injectAndRecover(p, c, ranks); err != nil {
 				return nil, err
+			}
+			p.EndPhase(rp)
+			if st.me == masterRank && st.mRecoveries != nil {
+				st.mRecoveries.Inc()
 			}
 		}
 		ph := p.BeginPhase("elimination-level", l)
@@ -179,9 +214,10 @@ type parallelState struct {
 	// Registry instruments, resolved once per solve when the world has
 	// metrics enabled; nil instruments no-op, so the fields can be used
 	// unconditionally.
-	mFlops  *telemetry.Counter
-	mLevelS *telemetry.Counter
-	mLevels *telemetry.Counter
+	mFlops      *telemetry.Counter
+	mLevelS     *telemetry.Counter
+	mLevels     *telemetry.Counter
+	mRecoveries *telemetry.Counter
 }
 
 // attachMetrics resolves the solver's instruments from the world registry
@@ -194,6 +230,7 @@ func (st *parallelState) attachMetrics(p *mpi.Proc) {
 	st.mFlops = reg.Counter("solver_flops_total", "modelled floating-point operations charged by the solver", "alg", "ime")
 	st.mLevelS = reg.Counter("solver_level_seconds_total", "virtual seconds spent in elimination levels, master rank", "alg", "ime")
 	st.mLevels = reg.Counter("solver_levels_total", "elimination levels completed, master rank", "alg", "ime")
+	st.mRecoveries = reg.Counter("solver_recoveries_total", "checksum recoveries performed, master rank", "alg", "ime")
 }
 
 // msScratch returns the reusable multiplier buffer, allocating it on

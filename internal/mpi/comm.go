@@ -112,8 +112,14 @@ func (p *Proc) Barrier(c *Comm) error {
 		b.init(size)
 		slots := b.slots[p.nextBarGen(c)&1]
 		for k, step := 0, 1; k < b.rounds; k, step = k+1, step<<1 {
-			slots[k*size+(me+step)%size] <- maxClock
-			if v := <-slots[k*size+me]; v > maxClock {
+			if err := p.slotSend(c, slots[k*size+(me+step)%size], maxClock); err != nil {
+				return err
+			}
+			v, err := p.slotRecv(c, slots[k*size+me])
+			if err != nil {
+				return err
+			}
+			if v > maxClock {
 				maxClock = v
 			}
 		}
@@ -121,6 +127,63 @@ func (p *Proc) Barrier(c *Comm) error {
 	p.waitUntil(maxClock + p.w.cost.BarrierTime(size))
 	p.recordCollective("barrier", start, 0)
 	return nil
+}
+
+// slotSend delivers one dissemination-round value, giving up when a
+// communicator member is dead: a dead rank never drains its slots, so a
+// blocked barrier send could otherwise wait forever. The channel is always
+// probed before (and after) consulting the failure board, so a slot value
+// that is actually available wins over a concurrent failure — the outcome
+// depends only on whether the peer reached this round in program order,
+// not on goroutine scheduling.
+func (p *Proc) slotSend(c *Comm, ch chan float64, v float64) error {
+	for {
+		select {
+		case ch <- v:
+			return nil
+		default:
+		}
+		fw := p.w.fail.watch()
+		if r, info, ok := p.w.fail.anyOf(c.index); ok {
+			select {
+			case ch <- v:
+				return nil
+			default:
+			}
+			return p.commFailed(r, info)
+		}
+		select {
+		case ch <- v:
+			return nil
+		case <-fw:
+		}
+	}
+}
+
+// slotRecv is slotSend's receiving half: it takes the round's merged clock
+// or reports the (deterministically chosen) dead member.
+func (p *Proc) slotRecv(c *Comm, ch chan float64) (float64, error) {
+	for {
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+		}
+		fw := p.w.fail.watch()
+		if r, info, ok := p.w.fail.anyOf(c.index); ok {
+			select {
+			case v := <-ch:
+				return v, nil
+			default:
+			}
+			return 0, p.commFailed(r, info)
+		}
+		select {
+		case v := <-ch:
+			return v, nil
+		case <-fw:
+		}
+	}
 }
 
 // splitKey identifies one split group so that exactly one Comm is created

@@ -1,0 +1,302 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// failWatchdog runs f and fails the test if it has not returned within the
+// deadline — the fault plane's contract is that a crashed rank never
+// deadlocks the world, and a hung test under -race would otherwise burn
+// the whole package timeout.
+func failWatchdog(t *testing.T, d time.Duration, f func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("world deadlocked: no return within %v", d)
+		return nil
+	}
+}
+
+// crashWorld builds a world whose victim rank crashes at crashT.
+func crashWorld(t *testing.T, size, victim int, crashT float64) *World {
+	t.Helper()
+	inj, err := fault.New(fault.Config{
+		Seed:   1,
+		Events: []fault.Event{{Time: crashT, Ranks: []int{victim}}},
+	}, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(size, Options{Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRecvFromCrashedRankFails pins the point-to-point half of the
+// failure contract: every live rank blocked on a Recv from the victim
+// gets ErrRankFailed (no deadlock), charged out to the deterministic
+// detection time, while payloads handed to the fabric before the crash
+// are still delivered.
+func TestRecvFromCrashedRankFails(t *testing.T) {
+	const size, victim, crashT = 6, 2, 0.5
+	w := crashWorld(t, size, victim, crashT)
+
+	var mu sync.Mutex
+	rankErr := make(map[int]error, size)
+	err := failWatchdog(t, 60*time.Second, func() error {
+		return w.Run(func(p *Proc) error {
+			c := p.World()
+			var err error
+			if p.Rank() == victim {
+				// Send one message before the crash, then compute across
+				// the crash time and die mid-operation.
+				err = p.Send(c, 0, 7, []float64{42})
+				if err == nil {
+					p.Compute(2*crashT, 0)
+					err = fmt.Errorf("victim survived its crash time")
+				}
+			} else {
+				if p.Rank() == 0 {
+					// The pre-crash payload must still arrive.
+					var data []float64
+					data, err = p.Recv(c, victim, 7)
+					if err == nil && (len(data) != 1 || data[0] != 42) {
+						err = fmt.Errorf("pre-crash payload corrupted: %v", data)
+					}
+					if err != nil {
+						mu.Lock()
+						rankErr[0] = err
+						mu.Unlock()
+						return err
+					}
+				}
+				// This message was never sent: the stream drains, then fails.
+				_, err = p.Recv(c, victim, 8)
+			}
+			mu.Lock()
+			rankErr[p.Rank()] = err
+			mu.Unlock()
+			return err
+		})
+	})
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("Run returned %v, want ErrRankFailed", err)
+	}
+	for r := 0; r < size; r++ {
+		if r == victim {
+			continue
+		}
+		if !errors.Is(rankErr[r], ErrRankFailed) {
+			t.Errorf("live rank %d got %v, want ErrRankFailed", r, rankErr[r])
+		}
+	}
+	if ft, dead := w.Failed(victim); !dead || ft != crashT {
+		t.Errorf("victim failure record = (%v, %v), want (%v, true)", ft, dead, crashT)
+	}
+	// Every live rank aborted with ErrRankFailed, so the board records the
+	// whole world: the crash itself plus the abort cascade it triggered.
+	if got := w.FailedRanks(); len(got) != size {
+		t.Errorf("FailedRanks() = %v, want all %d ranks (crash + abort cascade)", got, size)
+	}
+	if e := w.TotalEnergyJ(); e <= 0 {
+		t.Errorf("no energy charged up to the failure: %g J", e)
+	}
+	if mc := w.MaxClock(); mc < crashT {
+		t.Errorf("makespan %g predates the crash at %g", mc, crashT)
+	}
+}
+
+// TestBarrierWithCrashedRankFails pins the barrier half: a dissemination
+// barrier with a dead member returns ErrRankFailed on every live rank
+// instead of blocking in its slot channels.
+func TestBarrierWithCrashedRankFails(t *testing.T) {
+	const size, victim, crashT = 8, 3, 0.25
+	w := crashWorld(t, size, victim, crashT)
+
+	var mu sync.Mutex
+	rankErr := make(map[int]error, size)
+	err := failWatchdog(t, 60*time.Second, func() error {
+		return w.Run(func(p *Proc) error {
+			if p.Rank() == victim {
+				p.Compute(2*crashT, 0)
+				return fmt.Errorf("victim survived its crash time")
+			}
+			err := p.Barrier(p.World())
+			mu.Lock()
+			rankErr[p.Rank()] = err
+			mu.Unlock()
+			return err
+		})
+	})
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("Run returned %v, want ErrRankFailed", err)
+	}
+	for r := 0; r < size; r++ {
+		if r == victim {
+			continue
+		}
+		if !errors.Is(rankErr[r], ErrRankFailed) {
+			t.Errorf("live rank %d got %v, want ErrRankFailed", r, rankErr[r])
+		}
+	}
+}
+
+// TestAllgatherWithCrashedRankFails pins the collective half: the Bruck
+// allgather over a world with a dead member fails on every live rank,
+// directly (a recv from the victim) or through the abort cascade (a peer
+// that already failed).
+func TestAllgatherWithCrashedRankFails(t *testing.T) {
+	const size, victim, crashT = 8, 5, 0.25
+	w := crashWorld(t, size, victim, crashT)
+
+	var mu sync.Mutex
+	rankErr := make(map[int]error, size)
+	err := failWatchdog(t, 60*time.Second, func() error {
+		return w.Run(func(p *Proc) error {
+			if p.Rank() == victim {
+				p.Compute(2*crashT, 0)
+				return fmt.Errorf("victim survived its crash time")
+			}
+			_, err := p.Allgather(p.World(), []float64{float64(p.Rank())})
+			mu.Lock()
+			rankErr[p.Rank()] = err
+			mu.Unlock()
+			return err
+		})
+	})
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("Run returned %v, want ErrRankFailed", err)
+	}
+	for r := 0; r < size; r++ {
+		if r == victim {
+			continue
+		}
+		if !errors.Is(rankErr[r], ErrRankFailed) {
+			t.Errorf("live rank %d got %v, want ErrRankFailed", r, rankErr[r])
+		}
+	}
+}
+
+// TestAbortCascadeWithoutInjector pins the always-on half of the failure
+// plane: even with no injector, a rank that returns an error unblocks
+// peers waiting on it, and Run prefers the root-cause error over the
+// ErrRankFailed cascade it triggered.
+func TestAbortCascadeWithoutInjector(t *testing.T) {
+	const size = 4
+	w, err := NewWorld(size, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootCause := errors.New("application failure on rank 1")
+	runErr := failWatchdog(t, 60*time.Second, func() error {
+		return w.Run(func(p *Proc) error {
+			if p.Rank() == 1 {
+				return rootCause
+			}
+			// Blocks forever unless the abort cascade wakes it.
+			_, err := p.Recv(p.World(), 1, 3)
+			return err
+		})
+	})
+	if !errors.Is(runErr, rootCause) {
+		t.Fatalf("Run returned %v, want the root cause %v", runErr, rootCause)
+	}
+	if errors.Is(runErr, ErrRankFailed) {
+		t.Fatalf("root-cause error was displaced by the cascade: %v", runErr)
+	}
+}
+
+// TestCrashedWorldDeterministic pins engine-level determinism under
+// injection: the same seed yields identical failure records and final
+// clocks across runs, and total energy equal to 1e-9 relative (the
+// accumulation order across goroutines is not fixed).
+func TestCrashedWorldDeterministic(t *testing.T) {
+	run := func() (clock float64, energy float64, failT float64) {
+		const size, victim = 6, 2
+		w := crashWorld(t, size, victim, 0.4)
+		_ = failWatchdog(t, 60*time.Second, func() error {
+			return w.Run(func(p *Proc) error {
+				if p.Rank() == victim {
+					p.Compute(1.0, 64)
+					return nil
+				}
+				if err := p.Barrier(p.World()); err != nil {
+					return err
+				}
+				return nil
+			})
+		})
+		ft, _ := w.Failed(victim)
+		return w.MaxClock(), w.TotalEnergyJ(), ft
+	}
+	c1, e1, f1 := run()
+	c2, e2, f2 := run()
+	if c1 != c2 {
+		t.Errorf("final clocks differ across identical runs: %.17g vs %.17g", c1, c2)
+	}
+	if f1 != f2 {
+		t.Errorf("failure times differ across identical runs: %.17g vs %.17g", f1, f2)
+	}
+	if rel := math.Abs(e1-e2) / math.Max(e1, 1); rel > 1e-9 {
+		t.Errorf("energies differ beyond tolerance: %.17g vs %.17g", e1, e2)
+	}
+}
+
+// TestInactiveInjectorIsFreeOfSideEffects pins the byte-identity
+// requirement at the engine level: a zero-config injector must leave
+// clocks, traffic and energy exactly identical to a nil one.
+func TestInactiveInjectorIsFreeOfSideEffects(t *testing.T) {
+	run := func(withInjector bool) (clock, energy float64, msgs, vol int64) {
+		opts := Options{}
+		if withInjector {
+			inj, err := fault.New(fault.Config{Seed: 99}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inj.Active() {
+				t.Fatal("zero-config injector reports active")
+			}
+			opts.Fault = inj
+		}
+		w, err := NewWorld(4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(p *Proc) error {
+			p.Compute(1e-3, 4096)
+			if p.Rank()%2 == 0 {
+				if err := p.Send(p.World(), p.Rank()+1, 1, []float64{1, 2, 3}); err != nil {
+					return err
+				}
+			} else {
+				if _, err := p.Recv(p.World(), p.Rank()-1, 1); err != nil {
+					return err
+				}
+			}
+			return p.Barrier(p.World())
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m, v := w.Traffic()
+		return w.MaxClock(), w.TotalEnergyJ(), m, v
+	}
+	c1, e1, m1, v1 := run(false)
+	c2, e2, m2, v2 := run(true)
+	if c1 != c2 || e1 != e2 || m1 != m2 || v1 != v2 {
+		t.Errorf("inactive injector perturbed the run: clock %.17g vs %.17g, energy %.17g vs %.17g, traffic (%d,%d) vs (%d,%d)",
+			c1, c2, e1, e2, m1, v1, m2, v2)
+	}
+}

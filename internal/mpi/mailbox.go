@@ -41,14 +41,20 @@ type msgNode struct {
 // worlds, keeping the per-message path allocation-free.
 var msgNodePool = sync.Pool{New: func() any { return new(msgNode) }}
 
-// stream carries the ordered messages of one (src → dst) pair.
+// stream carries the ordered messages of one (src → dst) pair. The dead
+// flags are set when the fault plane kills an endpoint (failure.go):
+// srcDead means no more messages will ever arrive (the receiver drains
+// the queue, then take reports failure); dstDead means nobody will ever
+// read again (puts discard instead of blocking on backpressure).
 type stream struct {
-	mu     sync.Mutex
-	sendOK sync.Cond // space available (count < mailboxDepth)
-	recvOK sync.Cond // message available
-	head   *msgNode
-	tail   *msgNode
-	count  int
+	mu      sync.Mutex
+	sendOK  sync.Cond // space available (count < mailboxDepth)
+	recvOK  sync.Cond // message available
+	head    *msgNode
+	tail    *msgNode
+	count   int
+	srcDead bool
+	dstDead bool
 }
 
 func newStream() *stream {
@@ -58,14 +64,23 @@ func newStream() *stream {
 	return s
 }
 
-// put enqueues msg, blocking while the stream is mailboxDepth deep.
+// put enqueues msg, blocking while the stream is mailboxDepth deep. A
+// message for a dead destination is discarded (its buffer recycled), so
+// senders never block on a rank that will not drain its mailbox.
 func (s *stream) put(msg message) {
 	n := msgNodePool.Get().(*msgNode)
 	n.msg = msg
 	n.next = nil
 	s.mu.Lock()
-	for s.count >= mailboxDepth {
+	for s.count >= mailboxDepth && !s.dstDead {
 		s.sendOK.Wait()
+	}
+	if s.dstDead {
+		s.mu.Unlock()
+		*n = msgNode{}
+		msgNodePool.Put(n)
+		PutBuf(msg.data)
+		return
 	}
 	if s.tail == nil {
 		s.head = n
@@ -79,11 +94,17 @@ func (s *stream) put(msg message) {
 }
 
 // take dequeues the oldest message, blocking until one is available. The
-// backing node is recycled before returning.
-func (s *stream) take() message {
+// backing node is recycled before returning. When the source is dead and
+// the queue drained, take reports failure instead of blocking forever:
+// messages handed to the fabric before the crash are still delivered.
+func (s *stream) take() (message, bool) {
 	s.mu.Lock()
-	for s.count == 0 {
+	for s.count == 0 && !s.srcDead {
 		s.recvOK.Wait()
+	}
+	if s.count == 0 {
+		s.mu.Unlock()
+		return message{}, false
 	}
 	n := s.head
 	s.head = n.next
@@ -96,7 +117,23 @@ func (s *stream) take() message {
 	msg := n.msg
 	*n = msgNode{}
 	msgNodePool.Put(n)
-	return msg
+	return msg, true
+}
+
+// markSrcDead wakes receivers: after draining the queue they fail.
+func (s *stream) markSrcDead() {
+	s.mu.Lock()
+	s.srcDead = true
+	s.mu.Unlock()
+	s.recvOK.Broadcast()
+}
+
+// markDstDead wakes blocked senders; their puts turn into discards.
+func (s *stream) markDstDead() {
+	s.mu.Lock()
+	s.dstDead = true
+	s.mu.Unlock()
+	s.sendOK.Broadcast()
 }
 
 // mailShard is one destination rank's matcher: the lazily populated set of
@@ -106,12 +143,15 @@ type mailShard struct {
 	streams map[int]*stream
 }
 
-// stream returns the (src → dst) stream, creating it on first use.
+// stream returns the (src → dst) stream, creating it on first use. A
+// stream created after an endpoint already died is born poisoned, so the
+// failure board and lazy creation can never race a peer into a deadlock.
 func (w *World) stream(dst, src int) *stream {
 	sh := &w.mail[dst]
 	sh.mu.Lock()
 	s := sh.streams[src]
-	if s == nil {
+	created := s == nil
+	if created {
 		if sh.streams == nil {
 			sh.streams = make(map[int]*stream, 8)
 		}
@@ -119,6 +159,14 @@ func (w *World) stream(dst, src int) *stream {
 		sh.streams[src] = s
 	}
 	sh.mu.Unlock()
+	if created {
+		if _, dead := w.fail.get(src); dead {
+			s.markSrcDead()
+		}
+		if _, dead := w.fail.get(dst); dead {
+			s.markDstDead()
+		}
+	}
 	return s
 }
 

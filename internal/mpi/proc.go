@@ -33,6 +33,15 @@ type Proc struct {
 	// so IMe's saturated streaming pipelines draw more power per busy
 	// second than ScaLAPACK's blocked kernels, as the paper measured.
 	activity float64
+	// crashAt is the virtual time the fault plane kills this rank (+Inf
+	// when never); the first clock advance crossing it dies (failure.go).
+	crashAt float64
+	// dilation stretches this rank's compute time when the injector marks
+	// it a straggler (1.0 = healthy).
+	dilation float64
+	// txSeq numbers sends per destination so the injector's per-message
+	// delay/drop draws are pure functions of (seed, src, dst, seq).
+	txSeq map[int]int
 }
 
 // Rank returns the world rank.
@@ -61,6 +70,9 @@ func (p *Proc) advanceBusy(dt, bytes float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("mpi: rank %d: negative time advance %g", p.rank, dt))
 	}
+	if p.clock+dt > p.crashAt {
+		p.advanceToCrash(dt, bytes) // charges the partial advance, then unwinds
+	}
 	p.clock += dt
 	p.w.chargeNode(p.rank, dt, bytes, p.clock)
 }
@@ -71,6 +83,9 @@ func (p *Proc) advanceBusy(dt, bytes float64) {
 // wall time. The clock is assigned t exactly (not incremented by the
 // difference) so ranks leaving a barrier agree bit-for-bit.
 func (p *Proc) waitUntil(t float64) {
+	if t > p.crashAt {
+		p.advanceToCrash(t-p.clock, 0) // busy-polls up to the crash, then unwinds
+	}
 	if t > p.clock {
 		start := p.clock
 		dt := t - p.clock
@@ -111,6 +126,14 @@ func (p *Proc) Compute(seconds, bytes float64) {
 	if slow := p.w.capSlowdown(node, socket); slow > 1 {
 		seconds *= slow
 	}
+	if p.dilation > 1 {
+		// Straggler injection: the rank computes slower, so the same work
+		// takes longer and burns more busy-core energy.
+		seconds *= p.dilation
+	}
+	if p.clock+seconds > p.crashAt {
+		p.advanceToCrash(seconds, bytes)
+	}
 	start := p.clock
 	p.clock += seconds
 	p.w.chargeNode(p.rank, seconds*act, bytes, p.clock)
@@ -127,6 +150,18 @@ func (p *Proc) ComputeFlops(flops, rate, bytes float64) {
 		panic(fmt.Sprintf("mpi: rank %d: non-positive flop rate %g", p.rank, rate))
 	}
 	p.Compute(flops/rate, bytes)
+}
+
+// nextTxSeq returns the per-destination sequence number of the next send.
+// Per-rank program order makes it deterministic, which makes the fault
+// injector's per-message draws deterministic too.
+func (p *Proc) nextTxSeq(dst int) int {
+	if p.txSeq == nil {
+		p.txSeq = make(map[int]int, 8)
+	}
+	s := p.txSeq[dst]
+	p.txSeq[dst] = s + 1
+	return s
 }
 
 // nextSeq returns the sequence number of the next collective on c.

@@ -22,11 +22,15 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/rapl"
 )
@@ -40,6 +44,11 @@ type Options struct {
 	Cost CostModel
 	// Calibration is the node power model; zero value means Skylake8160.
 	Calibration power.Calibration
+	// Fault is the fault-injection plane: a deterministic, seed-driven
+	// schedule of message delay/jitter, drops with bounded retransmission,
+	// straggler ranks and hard rank crashes (internal/fault). Nil injects
+	// nothing and leaves every output byte-identical.
+	Fault *fault.Injector
 }
 
 // rankLoc is a rank's precomputed placement, resolved once at world
@@ -91,6 +100,15 @@ type World struct {
 	trace *tracer
 	// metrics feeds the telemetry registry when EnableMetrics was called.
 	metrics *worldMetrics
+
+	// flt is the fault injector (nil injects nothing); fail is the always-
+	// present registry of dead ranks (failure.go) — a rank aborting with
+	// its own error marks it even without an injector, so peers blocked on
+	// the dead rank unblock instead of deadlocking; detect is the virtual
+	// failure-detection timeout charged to live ranks.
+	flt    *fault.Injector
+	fail   *failureBoard
+	detect float64
 }
 
 type message struct {
@@ -120,6 +138,15 @@ func NewWorld(size int, opts Options) (*World, error) {
 		return nil, fmt.Errorf("mpi: config has %d ranks, world has %d", opts.Config.Ranks, size)
 	}
 	w := &World{size: size, cost: cost, cfg: opts.Config}
+	w.fail = newFailureBoard()
+	w.detect = fault.DefaultDetectTimeout
+	if opts.Fault != nil {
+		if opts.Fault.Size() != size {
+			return nil, fmt.Errorf("mpi: fault injector built for %d ranks, world has %d", opts.Fault.Size(), size)
+		}
+		w.flt = opts.Fault
+		w.detect = opts.Fault.DetectTimeout()
+	}
 	nNodes := 1
 	if w.cfg != nil {
 		nNodes = w.cfg.Nodes
@@ -238,9 +265,13 @@ func (w *World) chargeNode(rank int, busySeconds, bytes, clock float64) {
 }
 
 // Run executes body once per rank, concurrently, and blocks until every
-// rank returns. The first error wins; remaining errors are discarded.
-// A panicking rank is converted into an error naming the rank, so a bug in
-// one rank fails the job instead of crashing the test binary.
+// rank returns. A panicking rank is converted into an error naming the
+// rank, so a bug in one rank fails the job instead of crashing the test
+// binary. A rank that returns an error or panics is marked on the failure
+// board, which unblocks peers waiting on it (they get ErrRankFailed
+// instead of deadlocking); fault-injected crashes unwind via crashPanic
+// and surface the same way. Of the collected errors a root cause (one not
+// merely reporting a dead peer) is preferred.
 func (w *World) Run(body func(p *Proc) error) error {
 	world := newWorldComm(w)
 	errs := make(chan error, w.size)
@@ -249,20 +280,70 @@ func (w *World) Run(body func(p *Proc) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			p := &Proc{w: w, rank: rank, world: world, crashAt: math.Inf(1), dilation: 1}
+			if f := w.flt; f != nil {
+				p.crashAt = f.CrashTime(rank)
+				p.dilation = f.Dilation(rank)
+			}
 			defer func() {
 				if rec := recover(); rec != nil {
+					if cp, ok := rec.(crashPanic); ok {
+						errs <- fmt.Errorf("mpi: rank %d crashed at t=%.9gs: %w", cp.rank, cp.t, ErrRankFailed)
+						return
+					}
+					w.markFailed(rank, p.clock, failAborted)
 					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
 				}
 			}()
-			p := &Proc{w: w, rank: rank, world: world}
 			if err := body(p); err != nil {
+				w.markFailed(rank, p.clock, failAborted)
 				errs <- fmt.Errorf("mpi: rank %d: %w", rank, err)
 			}
 		}(r)
 	}
 	wg.Wait()
 	close(errs)
-	return <-errs // nil when the channel is empty
+	var first error
+	for err := range errs {
+		if first == nil || (errors.Is(first, ErrRankFailed) && !errors.Is(err, ErrRankFailed)) {
+			first = err
+		}
+	}
+	return first
+}
+
+// Failed reports whether a rank is dead (crashed or aborted) and the
+// virtual time it died.
+func (w *World) Failed(rank int) (t float64, dead bool) {
+	info, ok := w.fail.get(rank)
+	return info.t, ok
+}
+
+// FailedRanks returns the dead ranks in ascending order.
+func (w *World) FailedRanks() []int {
+	w.fail.mu.Lock()
+	out := make([]int, 0, len(w.fail.failed))
+	for r := range w.fail.failed {
+		out = append(out, r)
+	}
+	w.fail.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// TotalEnergyJ sums the exact model energy of every monitored RAPL domain
+// across all nodes — the job's total energy, including what dead ranks
+// consumed before failing.
+func (w *World) TotalEnergyJ() float64 {
+	var e float64
+	for i, n := range w.nodes {
+		w.nodeMu[i].Lock()
+		for _, d := range rapl.Domains() {
+			e += n.ExactEnergy(d)
+		}
+		w.nodeMu[i].Unlock()
+	}
+	return e
 }
 
 // MaxClock returns the largest virtual time any node observed — the job's

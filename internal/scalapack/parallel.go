@@ -1,6 +1,7 @@
 package scalapack
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -21,6 +22,9 @@ type ParallelOptions struct {
 	// rank 0 needs sys; each rank's block-cyclic pieces travel over
 	// point-to-point sends.
 	DistributeInput bool
+	// Checkpoint enables periodic in-memory checkpoint/restart of the
+	// panel loop (see checkpoint.go); nil disables it.
+	Checkpoint *CheckpointPlan
 }
 
 // Pdgesv solves A·x = b by block-cyclic parallel Gaussian elimination with
@@ -79,7 +83,20 @@ func Pdgesv(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptions) ([]
 	st.attachMetrics()
 
 	n, nb := st.n, st.nb
-	for k0 := 0; k0 < n; k0 += nb {
+	startK0 := 0
+	if plan := opts.Checkpoint; plan != nil && plan.Resume != nil {
+		if snap, ok := plan.Resume(me); ok {
+			ph := p.BeginPhase("checkpoint-restore", snap.K0/nb)
+			if err := st.restore(snap); err != nil {
+				return nil, err
+			}
+			st.chargeCheckpoint(plan, snap.Bytes(), true)
+			p.EndPhase(ph)
+			startK0 = snap.K0
+		}
+	}
+	steps := 0
+	for k0 := startK0; k0 < n; k0 += nb {
 		stepStart := p.Clock()
 		if err := st.panelStep(k0); err != nil {
 			return nil, fmt.Errorf("scalapack: panel at %d: %w", k0, err)
@@ -87,6 +104,20 @@ func Pdgesv(p *mpi.Proc, c *mpi.Comm, sys *mat.System, opts ParallelOptions) ([]
 		if st.pr == 0 && st.pc == 0 {
 			st.mPanelS.Add(p.Clock() - stepStart)
 			st.mPanels.Inc()
+		}
+		steps++
+		if plan := opts.Checkpoint; plan != nil && plan.Every > 0 &&
+			steps%plan.Every == 0 && k0+nb < n {
+			// Every rank reaches this point at the same panel in program
+			// order, so the generation (the resume column) is coherent
+			// across the world without extra synchronisation.
+			ph := p.BeginPhase("checkpoint", k0/nb)
+			snap := st.snapshot(k0 + nb)
+			st.chargeCheckpoint(plan, snap.Bytes(), false)
+			if plan.Save != nil {
+				plan.Save(me, snap)
+			}
+			p.EndPhase(ph)
 		}
 	}
 	ph := p.BeginPhase("back-substitution", -1)
@@ -321,6 +352,13 @@ func (st *pdState) panelStep(k0 int) error {
 		for j := k0; j < k1; j++ {
 			piv, err := st.factorColumn(j, k0, k1)
 			if err != nil {
+				// Only genuine singularity rides the coordinated status
+				// broadcast; anything else (a failed peer rank, a transport
+				// error) must propagate as itself so callers can tell a bad
+				// matrix from a dead world.
+				if !errors.Is(err, ErrSingular) {
+					return err
+				}
 				status = 1
 				break
 			}
