@@ -10,10 +10,12 @@
 //	GET  /healthz       liveness/readiness (503 while draining)
 //
 // The serving layer caches results (LRU+TTL over canonicalized
-// requests), coalesces concurrent identical requests into one
-// computation, and bounds admission (semaphore + bounded queue with
-// 429/503 shedding). SIGINT/SIGTERM drains gracefully: new computations
-// are refused while in-flight requests complete.
+// requests), answers in-envelope recommend/predict misses from the
+// learned surrogate in O(µs) (-surrogate, on by default), coalesces
+// concurrent identical requests into one computation, and bounds
+// admission (semaphore + bounded queue with 429/503 shedding).
+// SIGINT/SIGTERM drains gracefully: new computations are refused while
+// in-flight requests complete.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,18 +43,45 @@ func main() {
 		timeout      = flag.Duration("timeout", 15*time.Second, "per-request deadline")
 		workers      = flag.Int("j", 0, "sweep worker budget (0 = GOMAXPROCS)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		useSurrogate = flag.Bool("surrogate", true, "serve in-envelope cache misses from the learned surrogate")
+		surRefresh   = flag.Bool("surrogate-refresh", false, "refresh surrogate-served cache bodies with a background exact compute")
+		withPprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	svc := server.New(server.Config{
-		CacheEntries:   *cacheEntries,
-		CacheTTL:       *cacheTTL,
-		MaxInflight:    *maxInflight,
-		MaxQueue:       *maxQueue,
-		RequestTimeout: *timeout,
-		SweepWorkers:   *workers,
-	})
-	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	cfg := server.Config{
+		CacheEntries:     *cacheEntries,
+		CacheTTL:         *cacheTTL,
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *timeout,
+		SweepWorkers:     *workers,
+		SurrogateRefresh: *surRefresh,
+	}
+	if *useSurrogate {
+		p, err := server.DefaultSurrogate()
+		if err != nil {
+			log.Fatalf("advisord: surrogate table: %v", err)
+		}
+		cfg.Surrogate = p
+		log.Printf("advisord: surrogate fast path on (%s, %d models, refresh %t)", p.Version(), p.Models(), *surRefresh)
+	}
+	svc := server.New(cfg)
+	handler := svc.Handler()
+	if *withPprof {
+		// The service mux owns the API routes; mount the profiler beside
+		// them so production deployments keep /debug off by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("advisord: pprof exposed at /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,218 @@
+// advisorload is a closed-loop load generator for advisord: a fixed
+// number of workers each keep exactly one request in flight (fire,
+// await, fire again), so measured latency is service latency, not
+// coordinated-omission artifacts from an open-loop arrival clock.
+//
+// The request mix walks the paper's §5.1 grid — matrix orders × rank
+// counts × placements — with an optional off-grid fraction that jitters
+// the matrix order away from the grid (exercising the surrogate between
+// its knots), and -distinct perturbs every request to a unique never-
+// cached shape, pinning the cache-miss path. Results (throughput,
+// latency percentiles, status/provenance counts) are printed and
+// optionally written as JSON for BENCH_advisord.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+type summary struct {
+	URL         string             `json:"url"`
+	Endpoint    string             `json:"endpoint"`
+	Concurrency int                `json:"concurrency"`
+	DurationS   float64            `json:"duration_s"`
+	Distinct    bool               `json:"distinct"`
+	OffGridPct  int                `json:"offgrid_pct"`
+	Requests    int                `json:"requests"`
+	Errors      int                `json:"errors"`
+	Status      map[string]int     `json:"status"`
+	Throughput  float64            `json:"throughput_rps"`
+	LatencyMs   map[string]float64 `json:"latency_ms"`
+}
+
+func main() {
+	var (
+		base     = flag.String("url", "http://localhost:8080", "advisord base URL")
+		conc     = flag.Int("c", 8, "closed-loop workers (in-flight requests)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		endpoint = flag.String("endpoint", "mix", "request mix: recommend, predict or mix")
+		offGrid  = flag.Int("offgrid", 30, "percent of requests jittered off the paper grid")
+		distinct = flag.Bool("distinct", false, "make every request unique (pins the cache-miss path)")
+		seed     = flag.Int64("seed", 1, "request-mix RNG seed")
+		jsonOut  = flag.String("json", "", "write the summary as JSON to this file")
+	)
+	flag.Parse()
+	if *conc <= 0 {
+		log.Fatal("advisorload: -c must be positive")
+	}
+	switch *endpoint {
+	case "recommend", "predict", "mix":
+	default:
+		log.Fatalf("advisorload: -endpoint %q (want recommend, predict or mix)", *endpoint)
+	}
+	if *offGrid < 0 || *offGrid > 100 {
+		log.Fatal("advisorload: -offgrid must be 0..100")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var uniq atomic.Int64 // distinct-mode perturbation, shared across workers
+	var wg sync.WaitGroup
+	results := make([][]result, *conc)
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for time.Now().Before(deadline) {
+				url := *base + nextPath(rng, *endpoint, *offGrid, *distinct, &uniq)
+				start := time.Now()
+				resp, err := client.Get(url)
+				lat := time.Since(start)
+				r := result{latency: lat}
+				if err != nil {
+					r.err = true
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					r.status = resp.StatusCode
+				}
+				results[w] = append(results[w], r)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []result
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	if len(all) == 0 {
+		log.Fatal("advisorload: no requests completed")
+	}
+	s := summarize(all, *base, *endpoint, *conc, *duration, *distinct, *offGrid)
+	fmt.Printf("advisorload: %d requests in %.1fs (%.0f req/s), %d errors\n",
+		s.Requests, s.DurationS, s.Throughput, s.Errors)
+	fmt.Printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+		s.LatencyMs["p50"], s.LatencyMs["p95"], s.LatencyMs["p99"], s.LatencyMs["max"])
+	var codes []string
+	for code := range s.Status {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Printf("status %s: %d\n", code, s.Status[code])
+	}
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(s, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if s.Errors > 0 || s.Status[fmt.Sprint(http.StatusOK)] != s.Requests {
+		os.Exit(1)
+	}
+}
+
+// nextPath draws one request from the mix: a paper grid cell, its matrix
+// order jittered off-grid for offGrid percent of draws (±20%, clamped to
+// stay a plausible job), and perturbed to a globally unique order under
+// -distinct so no two requests share a cache key.
+func nextPath(rng *rand.Rand, endpoint string, offGrid int, distinct bool, uniq *atomic.Int64) string {
+	dims := cluster.PaperMatrixDims()
+	rankCounts := cluster.PaperRankCounts()
+	placements := cluster.Placements()
+	n := dims[rng.Intn(len(dims))]
+	ranks := rankCounts[rng.Intn(len(rankCounts))]
+	pl := placements[rng.Intn(len(placements))]
+	if rng.Intn(100) < offGrid {
+		n = n + rng.Intn(n/5+1) - n/10 // ±10% around the grid order
+	}
+	if distinct {
+		// Walk orders upward from the grid so every request is a fresh
+		// cache key but stays inside the modelled range.
+		n += int(uniq.Add(1)) % 1000
+	}
+	if n < 4*ranks {
+		n = 4 * ranks
+	}
+	ep := endpoint
+	if ep == "mix" {
+		if rng.Intn(2) == 0 {
+			ep = "recommend"
+		} else {
+			ep = "predict"
+		}
+	}
+	var b strings.Builder
+	if ep == "recommend" {
+		objectives := []string{"min-energy", "min-time", "max-gflops-per-watt"}
+		fmt.Fprintf(&b, "/v1/recommend?n=%d&ranks=%d&placement=%s&objective=%s",
+			n, ranks, pl, objectives[rng.Intn(len(objectives))])
+	} else {
+		alg := "IMe"
+		if rng.Intn(2) == 0 {
+			alg = "ScaLAPACK"
+		}
+		fmt.Fprintf(&b, "/v1/predict?alg=%s&n=%d&ranks=%d&placement=%s", alg, n, ranks, pl)
+	}
+	return b.String()
+}
+
+func summarize(all []result, url, endpoint string, conc int, d time.Duration, distinct bool, offGrid int) summary {
+	lats := make([]float64, 0, len(all))
+	s := summary{
+		URL:         url,
+		Endpoint:    endpoint,
+		Concurrency: conc,
+		DurationS:   d.Seconds(),
+		Distinct:    distinct,
+		OffGridPct:  offGrid,
+		Requests:    len(all),
+		Status:      map[string]int{},
+	}
+	for _, r := range all {
+		if r.err {
+			s.Errors++
+			continue
+		}
+		s.Status[fmt.Sprint(r.status)]++
+		lats = append(lats, float64(r.latency)/float64(time.Millisecond))
+	}
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	s.LatencyMs = map[string]float64{
+		"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1),
+	}
+	s.Throughput = float64(s.Requests) / d.Seconds()
+	return s
+}

@@ -68,20 +68,28 @@ type Recommendation struct {
 
 // Recommend models both solvers for the job shape and picks a winner.
 func Recommend(n, ranks int, placement cluster.Placement, objective Objective, prm perfmodel.Params) (Recommendation, error) {
-	rec := Recommendation{Objective: objective}
-	var err error
-	rec.IMe, err = RunAnalytic(Experiment{
+	imeM, err := RunAnalytic(Experiment{
 		Algorithm: perfmodel.IMe, N: n, Ranks: ranks, Placement: placement,
 	}, prm)
 	if err != nil {
-		return rec, err
+		return Recommendation{Objective: objective}, err
 	}
-	rec.ScaLAPACK, err = RunAnalytic(Experiment{
+	geM, err := RunAnalytic(Experiment{
 		Algorithm: perfmodel.ScaLAPACK, N: n, Ranks: ranks, Placement: placement,
 	}, prm)
 	if err != nil {
-		return rec, err
+		return Recommendation{Objective: objective}, err
 	}
+	return Rank(imeM, geM, objective)
+}
+
+// Rank picks the winner between two measurements of the same job shape —
+// one per solver — under the objective. Both the analytic path
+// (Recommend) and the learned-surrogate serving path rank through this
+// single function, so a fast path can never apply different verdict
+// logic, only different measurements.
+func Rank(imeM, geM Measurement, objective Objective) (Recommendation, error) {
+	rec := Recommendation{Objective: objective, IMe: imeM, ScaLAPACK: geM}
 	var ime, ge float64
 	switch objective {
 	case MinEnergy:

@@ -224,7 +224,33 @@ func Run(alg Algorithm, n int, cfg cluster.Config, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return resultFromTimes(alg, n, cfg, prm, t, capStretch), nil
+}
 
+// ResultFromTimes assembles a full Result — energy integration, jitter,
+// totals — from an externally supplied pre-jitter time breakdown, using
+// the exact power model. This is the seam the learned surrogate plugs
+// into: it predicts the schedule-replay seconds (the O(n) part of Run)
+// and delegates the O(1) power integration here, so surrogate energies
+// inherit the model's calibration exactly and only carry the time error.
+func ResultFromTimes(alg Algorithm, n int, cfg cluster.Config, prm Params, computeS, exposedCommS float64) Result {
+	prm.normalize()
+	capStretch := 1.0
+	if prm.PowerCapW > 0 {
+		for s := 0; s < 2; s++ {
+			if cores := cfg.ActiveCores(s); cores > 0 {
+				if sl := prm.Calibration.SlowdownUnderCap(prm.PowerCapW, cores, s); sl > capStretch {
+					capStretch = sl
+				}
+			}
+		}
+	}
+	return resultFromTimes(alg, n, cfg, prm, timeBreakdown{compute: computeS, exposedComm: exposedCommS}, capStretch)
+}
+
+// resultFromTimes is the shared tail of Run and ResultFromTimes: machine
+// variability jitter, then energy integration over the jittered schedule.
+func resultFromTimes(alg Algorithm, n int, cfg cluster.Config, prm Params, t timeBreakdown, capStretch float64) Result {
 	res := Result{
 		Algorithm:    alg,
 		N:            n,
@@ -245,7 +271,7 @@ func Run(alg Algorithm, n int, cfg cluster.Config, prm Params) (Result, error) {
 		res.EnergyJ[d] *= fPower
 		res.TotalJ += res.EnergyJ[d]
 	}
-	return res, nil
+	return res
 }
 
 // timeBreakdown separates the critical path into compute and exposed

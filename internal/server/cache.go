@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Cache is an LRU+TTL byte cache for marshalled response bodies.
@@ -21,6 +23,15 @@ type Cache struct {
 	now   func() time.Time
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	// Instrumentation, optionally attached by the server after
+	// construction (telemetry instruments are nil-safe no-ops until
+	// then). entriesGauge tracks residency; the eviction counters split
+	// by cause so capacity pressure (working set exceeds CacheEntries —
+	// a sizing signal) is distinguishable from TTL housekeeping.
+	entriesGauge    *telemetry.Gauge
+	evictedCapacity *telemetry.Counter
+	evictedExpired  *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -56,6 +67,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	e := el.Value.(*cacheEntry)
 	if !e.expires.IsZero() && c.now().After(e.expires) {
 		c.removeLocked(el)
+		c.evictedExpired.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
@@ -81,7 +93,9 @@ func (c *Cache) Put(key string, body []byte) {
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, expires: expires})
 	for c.ll.Len() > c.max {
 		c.removeLocked(c.ll.Back())
+		c.evictedCapacity.Inc()
 	}
+	c.entriesGauge.Set(float64(c.ll.Len()))
 }
 
 // Len returns the number of resident entries (expired ones included
@@ -95,4 +109,5 @@ func (c *Cache) Len() int {
 func (c *Cache) removeLocked(el *list.Element) {
 	delete(c.items, el.Value.(*cacheEntry).key)
 	c.ll.Remove(el)
+	c.entriesGauge.Set(float64(c.ll.Len()))
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -82,5 +84,35 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	}
 	for g := 0; g < 8; g++ {
 		<-done
+	}
+}
+
+func TestCacheEvictionInstruments(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	now := time.Unix(1000, 0)
+	c := NewCache(2, time.Minute)
+	c.now = func() time.Time { return now }
+	c.entriesGauge = reg.Gauge("g", "")
+	c.evictedCapacity = reg.Counter("cap", "")
+	c.evictedExpired = reg.Counter("exp", "")
+
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("c", []byte("C")) // capacity eviction of a
+	if got := c.evictedCapacity.Value(); got != 1 {
+		t.Fatalf("capacity evictions = %g, want 1", got)
+	}
+	if got := c.entriesGauge.Value(); got != 2 {
+		t.Fatalf("entries gauge = %g, want 2", got)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have expired")
+	}
+	if got := c.evictedExpired.Value(); got != 1 {
+		t.Fatalf("expired evictions = %g, want 1", got)
+	}
+	if got := c.entriesGauge.Value(); got != 1 {
+		t.Fatalf("entries gauge = %g, want 1 after expiry", got)
 	}
 }

@@ -431,7 +431,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "recommend", req.cacheKey(), func(context.Context) ([]byte, error) {
+	s.serveCached(w, r, "recommend", req.cacheKey(), s.fastRecommend(req), func(context.Context) ([]byte, error) {
 		resp, err := s.evalRecommend(req)
 		if err != nil {
 			return nil, err
@@ -446,7 +446,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "predict", req.cacheKey(), func(context.Context) ([]byte, error) {
+	s.serveCached(w, r, "predict", req.cacheKey(), s.fastPredict(req), func(context.Context) ([]byte, error) {
 		resp, err := s.evalPredict(req)
 		if err != nil {
 			return nil, err
@@ -461,7 +461,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "sweep", req.cacheKey(), func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "sweep", req.cacheKey(), nil, func(ctx context.Context) ([]byte, error) {
 		resp, err := s.evalSweep(ctx, req, s.runner)
 		if err != nil {
 			return nil, err

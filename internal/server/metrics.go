@@ -28,14 +28,24 @@ type metrics struct {
 	endpoints    map[string]*endpointMetrics
 }
 
+// surrogateEndpoints are the endpoints with a learned fast path (sweeps
+// always take the exact grid).
+var surrogateEndpoints = []string{"recommend", "predict"}
+
 // endpointMetrics are one route's instruments; the cache/coalescer
-// counters are nil (no-op) for non-compute endpoints.
+// counters are nil (no-op) for non-compute endpoints, and the surrogate
+// counters are nil for endpoints without a fast path. Together the
+// surrogate/compute/hits trio labels every response's provenance:
+// cache hit, surrogate fast path, or exact computation.
 type endpointMetrics struct {
 	latency   *telemetry.Histogram
 	hits      *telemetry.Counter // responses served from the result cache
 	misses    *telemetry.Counter // requests that had to go past the cache
 	coalesced *telemetry.Counter // followers that shared an in-flight compute
 	compute   *telemetry.Counter // underlying model evaluations actually run
+	surrogate *telemetry.Counter // misses answered by the learned fast path
+	fallback  *telemetry.Counter // misses the surrogate refused (exact path took over)
+	refreshed *telemetry.Counter // surrogate bodies replaced by a background exact compute
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -55,6 +65,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		e.misses = reg.Counter("server_cache_misses_total", "Requests that missed the result cache.", "endpoint", ep)
 		e.coalesced = reg.Counter("server_coalesced_total", "Requests that shared an in-flight identical computation.", "endpoint", ep)
 		e.compute = reg.Counter("server_compute_total", "Underlying model evaluations executed.", "endpoint", ep)
+	}
+	for _, ep := range surrogateEndpoints {
+		e := m.endpoints[ep]
+		e.surrogate = reg.Counter("server_surrogate_total", "Cache misses answered by the learned surrogate fast path.", "endpoint", ep)
+		e.fallback = reg.Counter("server_surrogate_fallback_total", "Cache misses the surrogate refused (out of envelope); exact path took over.", "endpoint", ep)
+		e.refreshed = reg.Counter("server_surrogate_refreshed_total", "Cached surrogate bodies replaced by a background exact computation.", "endpoint", ep)
 	}
 	return m
 }

@@ -8,7 +8,13 @@
 //
 // Every compute endpoint runs the same pipeline:
 //
-//	parse+canonicalize → cache → coalesce → admit → compute
+//	parse+canonicalize → cache → surrogate → coalesce → admit → compute
+//
+// where the surrogate stage (optional, Config.Surrogate) answers
+// in-envelope recommend/predict misses from the learned predictor
+// (internal/surrogate) in O(µs) without consuming an admission slot, and
+// refuses anything outside its trained envelope so the exact pipeline
+// below it remains the arbiter of every hard query.
 //
 // with these invariants:
 //
@@ -36,10 +42,12 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/surrogate"
 	"repro/internal/telemetry"
 )
 
@@ -67,6 +75,16 @@ type Config struct {
 	// Registry receives the server's instruments (default: a fresh
 	// registry, exposed at /metrics either way).
 	Registry *telemetry.Registry
+	// Surrogate, when non-nil, serves in-envelope /v1/recommend and
+	// /v1/predict cache misses from the learned predictor in O(µs),
+	// bypassing admission entirely; out-of-envelope queries fall back to
+	// the exact pipeline. Nil (the default) keeps every answer exact.
+	Surrogate *surrogate.Predictor
+	// SurrogateRefresh additionally schedules a background exact
+	// computation after each surrogate-served miss, replacing the cached
+	// body so steady-state hits converge to exact values. Off by default:
+	// it trades the byte-stable cache for envelope-tight values.
+	SurrogateRefresh bool
 }
 
 // withDefaults resolves zero fields.
@@ -95,13 +113,14 @@ func (c Config) withDefaults() Config {
 // Server is the advisor service. Construct with New; all methods are
 // safe for concurrent use.
 type Server struct {
-	cfg      Config
-	cache    *Cache
-	coal     *Coalescer
-	lim      *Limiter
-	runner   *grid.Runner
-	m        *metrics
-	draining atomic.Bool
+	cfg       Config
+	cache     *Cache
+	coal      *Coalescer
+	lim       *Limiter
+	runner    *grid.Runner
+	m         *metrics
+	draining  atomic.Bool
+	refreshWG sync.WaitGroup
 
 	// Evaluators, injectable by tests to count/delay computations; New
 	// wires the real model. Handlers only reach the model through these.
@@ -123,6 +142,9 @@ func New(cfg Config) *Server {
 	}
 	s.lim.inflightGauge = cfg.Registry.Gauge("server_compute_inflight", "Model computations currently holding an admission slot.")
 	s.lim.queueGauge = cfg.Registry.Gauge("server_queue_depth", "Computations waiting for an admission slot.")
+	s.cache.entriesGauge = cfg.Registry.Gauge("server_cache_entries", "Result-cache bodies currently resident.")
+	s.cache.evictedCapacity = cfg.Registry.Counter("server_cache_evictions_total", "Result-cache bodies evicted, by reason.", "reason", "capacity")
+	s.cache.evictedExpired = cfg.Registry.Counter("server_cache_evictions_total", "Result-cache bodies evicted, by reason.", "reason", "expired")
 	s.evalRecommend = evalRecommend
 	s.evalPredict = evalPredict
 	s.evalSweep = evalSweep
@@ -153,11 +175,14 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// serveCached runs the cache → coalesce → admit → compute pipeline for
-// one request and writes the response. compute must return the final
-// marshalled body; it runs at most once across all concurrent identical
-// requests.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
+// serveCached runs the cache → surrogate → coalesce → admit → compute
+// pipeline for one request and writes the response. fast, when non-nil,
+// is the surrogate attempt: it answers in-envelope misses in O(µs) with
+// no admission slot (concurrent identical requests may each run it — the
+// bytes are deterministic, so the duplicated nanoseconds are cheaper than
+// a singleflight rendezvous). compute must return the final marshalled
+// body; it runs at most once across all concurrent identical requests.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, fast func() ([]byte, bool), compute func(ctx context.Context) ([]byte, error)) {
 	em := s.m.endpoint(endpoint)
 	if body, ok := s.cache.Get(key); ok {
 		em.hits.Inc()
@@ -165,6 +190,18 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		return
 	}
 	em.misses.Inc()
+	if fast != nil {
+		if body, ok := fast(); ok {
+			em.surrogate.Inc()
+			s.cache.Put(key, body)
+			if s.cfg.SurrogateRefresh {
+				s.refreshExact(endpoint, key, compute)
+			}
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		em.fallback.Inc()
+	}
 	ctx := r.Context()
 	body, shared, err := s.coal.Do(ctx, key, func() ([]byte, error) {
 		if s.draining.Load() {
@@ -190,6 +227,40 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		return
 	}
 	writeBody(w, http.StatusOK, body)
+}
+
+// refreshExact schedules a background exact computation for a key just
+// answered by the surrogate, replacing the cached surrogate body with the
+// exact one. It runs through the same coalescer key as foreground exact
+// requests (so at most one computation is ever in flight per key) and
+// through the limiter (so refreshes never starve interactive exact work
+// of admission slots — they queue like everyone else).
+func (s *Server) refreshExact(endpoint, key string, compute func(ctx context.Context) ([]byte, error)) {
+	s.refreshWG.Add(1)
+	go func() {
+		defer s.refreshWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		body, _, err := s.coal.Do(ctx, key, func() ([]byte, error) {
+			if s.draining.Load() {
+				return nil, ErrDraining
+			}
+			if err := s.lim.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.lim.Release()
+			b, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return b, nil
+		})
+		if err != nil {
+			return // shed refreshes are best-effort; the surrogate body stays
+		}
+		s.cache.Put(key, body)
+		s.m.endpoint(endpoint).refreshed.Inc()
+	}()
 }
 
 // writeComputeError maps pipeline failures onto shedding semantics:

@@ -1,0 +1,103 @@
+package surrogate
+
+import (
+	"math"
+
+	"repro/internal/ime"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// Work-shape features. A feature is an O(1) function of the request that
+// carries the non-smooth part of a training target, so the spline only has
+// to interpolate what is actually smooth in ln n. The compute feature
+// divides out IMe's rows-per-rank staircase; the communication feature goes
+// further and reduces IMe's whole exposed-comm schedule to closed form —
+// every per-level term is linear in the level index, so the n-iteration
+// replay collapses to arithmetic series plus one hinge crossing. The spline
+// over ln(exposedComm/feature) then fits a ratio that is 1 up to float
+// rounding, which is what removes the staircase kinks (the hinge crossing
+// shifts at every multiple of ranks) that a smooth interpolant cannot
+// track. ScaLAPACK's exposed comm is dominated by per-panel trailing sums
+// that are smooth in n, so its feature stays 1 and the spline does the
+// work.
+
+// rowsPerRank is the IMe work-shape feature: the widest block of the
+// block row distribution, ceil(n/ranks). It is the exact staircase factor
+// of the model's per-level update cost, known in O(1) from the request.
+func rowsPerRank(n, ranks int) float64 {
+	return float64((n + ranks - 1) / ranks)
+}
+
+// feature returns the algorithm's compute divisor.
+func feature(alg perfmodel.Algorithm, n, ranks int) float64 {
+	if alg == perfmodel.IMe {
+		return rowsPerRank(n, ranks)
+	}
+	return 1
+}
+
+// commFeature returns the algorithm's exposed-communication divisor.
+func commFeature(alg perfmodel.Algorithm, n, ranks int, overlap bool) float64 {
+	if alg == perfmodel.IMe {
+		return imeExposedComm(n, ranks, overlap)
+	}
+	return 1
+}
+
+// imeExposedComm reproduces perfmodel's IMe exposed-communication replay in
+// closed form. The serving envelope pins everything that would otherwise be
+// a parameter: multi-node placement (inter-node wire), the default cost
+// model, no power cap (capStretch = 1). Per level l = n…1 the model charges
+// a pivot broadcast linear in l against an update linear in l, so the sum
+// is two arithmetic series — with Overlap, truncated at the hinge level
+// where the pipelined broadcast first hides behind the update.
+func imeExposedComm(n, ranks int, overlap bool) float64 {
+	cost := mpi.DefaultCostModel()
+	d := float64(mpi.TreeDepth(ranks))
+	perHop := cost.SendOverhead + cost.RecvOverhead
+	wire0 := cost.LatencyInter
+	bw := cost.BandwidthInter
+	nf := float64(n)
+	maxRows := rowsPerRank(n, ranks)
+
+	if overlap {
+		// Pipelined broadcast: d·(perHop+wire0) + bytes/bw.
+		a := d * (perHop + wire0)
+		b := mpi.Float64Bytes / bw
+		// Init (h + initial column) and final solution broadcasts.
+		total := 3 * (a + nf*mpi.Float64Bytes/bw)
+		// Exposed pivot broadcast at level l: max(0, c + s·l) with
+		// c = a + b (the l+1 payload's constant part) and slope
+		// s = b − α, α the per-level update seconds 3·maxRows/rate.
+		c := a + b
+		s := b - 3*maxRows/ime.EffFlopsPerCore
+		if s >= 0 {
+			return total + nf*c + s*nf*(nf+1)/2
+		}
+		// Largest level still exposed: c + s·l > 0 ⇔ l < c/(−s).
+		l := math.Floor(c / -s)
+		if c+s*l <= 0 {
+			l--
+		}
+		if l > nf {
+			l = nf
+		}
+		if l > 0 {
+			total += l*c + s*l*(l+1)/2
+		}
+		return total
+	}
+
+	// Store-and-forward broadcast: d·(perHop + wire0 + bytes/bw).
+	hop := perHop + wire0
+	// Init and final broadcasts of n floats.
+	total := 3 * d * (hop + nf*mpi.Float64Bytes/bw)
+	// Per level: h broadcast and flat gather are l-independent…
+	hB := d * (hop + nf*mpi.Float64Bytes/bw)
+	g := float64(ranks-1)*perHop + wire0 + (nf-maxRows)*mpi.Float64Bytes/bw
+	total += nf * (hB + g)
+	// …and the pivot broadcast of l+1 floats sums over Σ(l+1) = n(n+3)/2.
+	total += d*nf*hop + d*mpi.Float64Bytes/bw*nf*(nf+3)/2
+	return total
+}

@@ -1,0 +1,65 @@
+package surrogate
+
+import "sort"
+
+// spline is a natural cubic spline through strictly increasing knots: the
+// interpolant passes through every training point exactly (the property
+// that keeps the surrogate byte-faithful to the model's ranking on the
+// paper grid) and is C² between them, so off-grid queries ride a smooth
+// local cubic instead of a global polynomial's oscillations.
+type spline struct {
+	xs, ys []float64
+	m      []float64 // second derivatives at the knots (natural: m[0]=m[k-1]=0)
+}
+
+// newSpline fits a natural cubic spline. xs must be strictly increasing
+// with len(xs) == len(ys) >= 2 (validated by the table loader).
+func newSpline(xs, ys []float64) spline {
+	k := len(xs)
+	m := make([]float64, k)
+	if k < 3 {
+		return spline{xs: xs, ys: ys, m: m} // degenerates to the chord
+	}
+	// Thomas algorithm on the tridiagonal natural-spline system.
+	c := make([]float64, k) // scratch: modified super-diagonal
+	d := make([]float64, k) // scratch: modified RHS
+	for i := 1; i < k-1; i++ {
+		h0, h1 := xs[i]-xs[i-1], xs[i+1]-xs[i]
+		rhs := 6 * ((ys[i+1]-ys[i])/h1 - (ys[i]-ys[i-1])/h0)
+		diag := 2 * (h0 + h1)
+		if i > 1 {
+			diag -= h0 * c[i-1]
+			rhs -= h0 * d[i-1]
+		}
+		c[i] = h1 / diag
+		d[i] = rhs / diag
+	}
+	for i := k - 2; i >= 1; i-- {
+		m[i] = d[i] - c[i]*m[i+1]
+	}
+	return spline{xs: xs, ys: ys, m: m}
+}
+
+// eval interpolates at x, which the caller keeps inside [xs[0], xs[k-1]]
+// (the envelope check guarantees it; clamping here is belt and braces).
+func (s spline) eval(x float64) float64 {
+	k := len(s.xs)
+	if x <= s.xs[0] {
+		x = s.xs[0]
+	} else if x >= s.xs[k-1] {
+		x = s.xs[k-1]
+	}
+	// First knot > x bounds the owning interval.
+	j := sort.SearchFloat64s(s.xs, x)
+	if j > 0 && (j == k || s.xs[j] != x) {
+		j--
+	}
+	if j >= k-1 {
+		j = k - 2
+	}
+	h := s.xs[j+1] - s.xs[j]
+	a := (s.xs[j+1] - x) / h
+	b := (x - s.xs[j]) / h
+	return a*s.ys[j] + b*s.ys[j+1] +
+		((a*a*a-a)*s.m[j]+(b*b*b-b)*s.m[j+1])*h*h/6
+}

@@ -1,0 +1,314 @@
+package surrogate
+
+// Pinning of the learned fast path. Three properties matter, in order:
+//
+//  1. The error envelope: worst-case relative duration/energy error
+//     against internal/perfmodel over off-knot validation points stays
+//     under pinned bounds (envelopeDuration/envelopeEnergy). The serving
+//     layer relies on this — an in-envelope query is answered by the
+//     surrogate with no exact-path verification.
+//  2. Paper-grid faithfulness: the §5.1 orders are spline knots, so the
+//     surrogate reproduces the exact model there to float rounding and
+//     the advisor's recommended solver never changes on the grid.
+//  3. Honest fallback: anything the table was not trained for is
+//     refused, not extrapolated.
+//
+// Regenerate the committed table with:
+//
+//	go test ./internal/surrogate -run TestTrainedTable -update-surrogate
+//
+// against a known-good perfmodel, never together with a model change.
+
+import (
+	"flag"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ime"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+)
+
+var updateSurrogate = flag.Bool("update-surrogate", false, "retrain testdata/coeffs.json from the current perfmodel")
+
+// The pinned error envelope: the serving layer's out-of-envelope rule is
+// domain-based (Predict refuses), so every in-envelope answer must obey
+// these bounds. The committed table's recorded worst case (full
+// validation sweep at training time) stays well under them; the test
+// re-measures a deterministic subset independently.
+const (
+	envelopeDuration = 0.02
+	envelopeEnergy   = 0.02
+)
+
+const tablePath = "testdata/coeffs.json"
+
+func loadDefault(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := Default()
+	if err != nil {
+		t.Fatalf("load embedded table (regenerate with -update-surrogate): %v", err)
+	}
+	return p
+}
+
+// TestTrainedTable regenerates the table under -update-surrogate;
+// otherwise it validates the committed table's recorded envelope and
+// re-measures a validation subset against the live perfmodel.
+func TestTrainedTable(t *testing.T) {
+	r := grid.New(0)
+	if *updateSurrogate {
+		table, err := Train(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MarshalTable(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tablePath, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("trained %d models; full-sweep max rel err: duration %.3e, energy %.3e",
+			len(table.Models), table.MaxRelErrDuration, table.MaxRelErrEnergy)
+		if table.MaxRelErrDuration > envelopeDuration || table.MaxRelErrEnergy > envelopeEnergy {
+			t.Fatalf("trained table exceeds the pinned envelope (%g/%g): raise knot density or tighten the domain",
+				envelopeDuration, envelopeEnergy)
+		}
+		return
+	}
+
+	p := loadDefault(t)
+	if p.Models() == 0 {
+		t.Fatal("table has no models")
+	}
+	// Re-measure a deterministic subset (every 7th model) independently
+	// of the numbers recorded in the table.
+	maxDur, maxEnergy, err := Validate(p, r, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("validation subset max rel err: duration %.3e, energy %.3e", maxDur, maxEnergy)
+	if maxDur > envelopeDuration {
+		t.Errorf("duration error %.3e exceeds pinned envelope %g", maxDur, envelopeDuration)
+	}
+	if maxEnergy > envelopeEnergy {
+		t.Errorf("energy error %.3e exceeds pinned envelope %g", maxEnergy, envelopeEnergy)
+	}
+}
+
+// TestPaperGridInterpolatesExactly pins property 2: every §5.1 grid cell
+// is a knot, so the surrogate agrees with perfmodel to float rounding —
+// not merely within the envelope — at the shapes the paper (and the
+// advisor goldens) are built on.
+func TestPaperGridInterpolatesExactly(t *testing.T) {
+	p := loadDefault(t)
+	const tol = 1e-9
+	for _, overlap := range []bool{true, false} {
+		prm := perfmodel.Params{Overlap: overlap}
+		for _, k := range core.SweepKeys() {
+			cfg, err := cluster.NewConfig(k.Ranks, k.Placement, cluster.MarconiA3())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := p.Predict(k.Algorithm, k.N, cfg, prm)
+			if !ok {
+				t.Fatalf("%v/%v/r%d/n%d overlap=%t: paper cell out of envelope", k.Algorithm, k.Placement, k.Ranks, k.N, overlap)
+			}
+			want, err := perfmodel.Run(k.Algorithm, k.N, cfg, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(got.DurationS-want.DurationS) / want.DurationS; d > tol {
+				t.Errorf("%v/%v/r%d/n%d overlap=%t: duration off by %.2e (knot should interpolate)",
+					k.Algorithm, k.Placement, k.Ranks, k.N, overlap, d)
+			}
+			if d := math.Abs(got.TotalJ-want.TotalJ) / want.TotalJ; d > tol {
+				t.Errorf("%v/%v/r%d/n%d overlap=%t: energy off by %.2e", k.Algorithm, k.Placement, k.Ranks, k.N, overlap, d)
+			}
+		}
+	}
+}
+
+// TestAdvisorVerdictsUnchanged pins the acceptance criterion: ranking
+// surrogate measurements through core.Rank recommends the same solver as
+// the exact advisor for every paper-grid shape × placement × objective.
+func TestAdvisorVerdictsUnchanged(t *testing.T) {
+	p := loadDefault(t)
+	prm := perfmodel.Params{Overlap: true}
+	for _, n := range cluster.PaperMatrixDims() {
+		for _, ranks := range cluster.PaperRankCounts() {
+			for _, pl := range cluster.Placements() {
+				cfg, err := cluster.NewConfig(ranks, pl, cluster.MarconiA3())
+				if err != nil {
+					t.Fatal(err)
+				}
+				meas := func(alg perfmodel.Algorithm) core.Measurement {
+					res, ok := p.Predict(alg, n, cfg, prm)
+					if !ok {
+						t.Fatalf("%v/%v/r%d/n%d: out of envelope", alg, pl, ranks, n)
+					}
+					return core.Measurement{
+						Experiment: core.Experiment{Algorithm: alg, N: n, Ranks: ranks, Placement: pl},
+						Config:     cfg,
+						DurationS:  res.DurationS,
+						TotalJ:     res.TotalJ,
+						EnergyJ:    res.EnergyJ,
+						Engine:     "surrogate",
+					}
+				}
+				imeM, geM := meas(perfmodel.IMe), meas(perfmodel.ScaLAPACK)
+				for _, obj := range core.Objectives() {
+					got, err := core.Rank(imeM, geM, obj)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := core.Recommend(n, ranks, pl, obj, prm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Best != want.Best {
+						t.Errorf("n=%d ranks=%d %v %v: surrogate recommends %v, exact %v",
+							n, ranks, pl, obj, got.Best, want.Best)
+					}
+					if d := math.Abs(got.Margin - want.Margin); d > 1e-9 {
+						t.Errorf("n=%d ranks=%d %v %v: margin drift %.2e", n, ranks, pl, obj, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFallbackOutOfEnvelope pins property 3: every untrained direction is
+// refused rather than extrapolated.
+func TestFallbackOutOfEnvelope(t *testing.T) {
+	p := loadDefault(t)
+	base, err := cluster.NewConfig(144, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Predict(perfmodel.IMe, 8640, base, perfmodel.Params{Overlap: true}); !ok {
+		t.Fatal("baseline paper cell should be in envelope")
+	}
+	singleNode, err := cluster.NewConfig(48, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRanks, err := cluster.NewConfig(336, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadwell, err := cluster.NewConfig(96, cluster.FullLoad, cluster.BroadwellEP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		alg  perfmodel.Algorithm
+		n    int
+		cfg  cluster.Config
+		prm  perfmodel.Params
+	}{
+		{"power cap", perfmodel.IMe, 8640, base, perfmodel.Params{Overlap: true, PowerCapW: 120}},
+		{"non-default block size", perfmodel.ScaLAPACK, 8640, base, perfmodel.Params{Overlap: true, BlockSize: 32}},
+		{"node variability", perfmodel.IMe, 8640, base, perfmodel.Params{Overlap: true, NodeVariability: 0.05}},
+		{"n below range", perfmodel.IMe, 400, base, perfmodel.Params{Overlap: true}},
+		{"n above range", perfmodel.IMe, nHiGlobal + 1, base, perfmodel.Params{Overlap: true}},
+		{"single node", perfmodel.IMe, 8640, singleNode, perfmodel.Params{Overlap: true}},
+		{"untrained rank count", perfmodel.IMe, 8640, offRanks, perfmodel.Params{Overlap: true}},
+		{"different machine", perfmodel.IMe, 8640, broadwell, perfmodel.Params{Overlap: true}},
+	}
+	for _, tc := range cases {
+		if _, ok := p.Predict(tc.alg, tc.n, tc.cfg, tc.prm); ok {
+			t.Errorf("%s: predicted out-of-envelope query (must fall back to exact)", tc.name)
+		}
+	}
+}
+
+// TestSurrogateMatchesEngine holds the surrogate to the executable
+// simulated-MPI engine at a multi-node shape inside the envelope — the
+// same style of cross-validation perfmodel itself is held to (the engine
+// is synchronous, so Overlap=false). The shape is two full-loaded nodes at
+// twelve matrix rows per rank; the tolerances mirror the perfmodel
+// 576-rank crosscheck band (×2.5), inside which the analytic
+// broadcast-chain bound is documented conservative against the engine's
+// pipelined trees.
+func TestSurrogateMatchesEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executable engine solve at n=1152 is seconds of real numerics")
+	}
+	p := loadDefault(t)
+	const n, ranks = 1152, 96
+	cfg, err := cluster.NewConfig(ranks, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := p.Predict(perfmodel.IMe, n, cfg, perfmodel.Params{Overlap: false})
+	if !ok {
+		t.Fatalf("n=%d r=%d out of envelope", n, ranks)
+	}
+
+	sys := mat.CachedSystem(n, int64(n))
+	w, err := mpi.NewWorld(ranks, mpi.Options{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(proc *mpi.Proc) error {
+		_, err := ime.SolveParallel(proc, proc.World(), sys, ime.ParallelOptions{ChargeCosts: true})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRatio := func(name string, got, want, tol float64) {
+		t.Helper()
+		r := got / want
+		if r < 1/tol || r > tol {
+			t.Errorf("%s: surrogate %g vs engine %g (ratio %.2f, tolerance ×%.1f)", name, got, want, r, tol)
+		}
+	}
+	checkRatio("duration", res.DurationS, w.MaxClock(), 2.5)
+	var engineJ float64
+	for _, node := range w.Nodes() {
+		for _, d := range rapl.Domains() {
+			engineJ += node.ExactEnergy(d)
+		}
+	}
+	checkRatio("energy", res.TotalJ, engineJ, 2.5)
+}
+
+// BenchmarkPredict pins the fast path's reason to exist: a full surrogate
+// answer (two spline evaluations + exact power integration) costs
+// microseconds, against the O(n)-loop schedule replay it replaces.
+func BenchmarkPredict(b *testing.B) {
+	p, err := Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := cluster.NewConfig(576, cluster.FullLoad, cluster.MarconiA3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prm := perfmodel.Params{Overlap: true}
+	b.Run("surrogate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := p.Predict(perfmodel.ScaLAPACK, 17281, cfg, prm); !ok {
+				b.Fatal("out of envelope")
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perfmodel.Run(perfmodel.ScaLAPACK, 17281, cfg, prm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
