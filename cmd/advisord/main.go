@@ -3,26 +3,31 @@
 // energy efficiency of linear systems resolutions") as shared
 // infrastructure rather than an in-process call:
 //
-//	GET  /v1/recommend  solver recommendation for a job shape
-//	GET  /v1/predict    modelled energy/time/power for one solver
-//	POST /v1/sweep      batched grid cells on the worker pool
-//	GET  /metrics       Prometheus exposition
-//	GET  /healthz       liveness/readiness (503 while draining)
+//	GET  /v1/recommend     solver recommendation for a job shape
+//	GET  /v1/predict       modelled energy/time/power for one solver
+//	POST /v1/sweep         batched grid cells on the worker pool
+//	GET  /metrics          Prometheus exposition (with trace exemplars)
+//	GET  /healthz          liveness/readiness (503 while draining)
+//	GET  /version          build identity (also server_build_info)
+//	GET  /debug/requests   recent / slowest / errored request digests
+//	GET  /debug/trace/{id} one retained request trace (Perfetto JSON)
+//	GET  /debug/slo        SLO compliance and burn rates
 //
 // The serving layer caches results (LRU+TTL over canonicalized
 // requests), answers in-envelope recommend/predict misses from the
 // learned surrogate in O(µs) (-surrogate, on by default), coalesces
 // concurrent identical requests into one computation, and bounds
-// admission (semaphore + bounded queue with 429/503 shedding).
-// SIGINT/SIGTERM drains gracefully: new computations are refused while
-// in-flight requests complete.
+// admission (semaphore + bounded queue with 429/503 shedding). Every
+// compute request is traced per stage under a W3C-style trace ID
+// (inbound traceparent honoured) and retained in a bounded ring for
+// live inspection. SIGINT/SIGTERM drains gracefully: new computations
+// are refused while in-flight requests complete.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,8 +52,22 @@ func main() {
 		useSurrogate = flag.Bool("surrogate", true, "serve in-envelope cache misses from the learned surrogate")
 		surRefresh   = flag.Bool("surrogate-refresh", false, "refresh surrogate-served cache bodies with a background exact compute")
 		withPprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceRing    = flag.Int("trace-ring", 256, "retained request traces for /debug/requests (<0 disables tracing)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "logfmt", "log encoding: logfmt or json")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatalUsage(err)
+	}
+	format, err := telemetry.ParseLogFormat(*logFormat)
+	if err != nil {
+		fatalUsage(err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, telemetry.LoggerOptions{Level: level, Format: format}).
+		With("app", "advisord")
 
 	cfg := server.Config{
 		CacheEntries:     *cacheEntries,
@@ -57,20 +77,23 @@ func main() {
 		RequestTimeout:   *timeout,
 		SweepWorkers:     *workers,
 		SurrogateRefresh: *surRefresh,
+		TraceRing:        *traceRing,
+		Logger:           logger,
 	}
 	if *useSurrogate {
 		p, err := server.DefaultSurrogate()
 		if err != nil {
-			log.Fatalf("advisord: surrogate table: %v", err)
+			logger.Error("surrogate table load failed", "err", err)
+			os.Exit(1)
 		}
 		cfg.Surrogate = p
-		log.Printf("advisord: surrogate fast path on (%s, %d models, refresh %t)", p.Version(), p.Models(), *surRefresh)
+		logger.Info("surrogate fast path on", "table", p.Version(), "models", p.Models(), "refresh", *surRefresh)
 	}
 	svc := server.New(cfg)
 	handler := svc.Handler()
 	if *withPprof {
 		// The service mux owns the API routes; mount the profiler beside
-		// them so production deployments keep /debug off by default.
+		// them so production deployments keep pprof off by default.
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -79,7 +102,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		log.Print("advisord: pprof exposed at /debug/pprof/")
+		logger.Info("pprof exposed", "path", "/debug/pprof/")
 	}
 	hs := &http.Server{Addr: *addr, Handler: handler}
 
@@ -89,19 +112,27 @@ func main() {
 	go func() {
 		defer close(done)
 		s := <-sig
-		log.Printf("advisord: %v: draining (up to %v)", s, *drainWait)
+		logger.Info("draining", "signal", s.String(), "budget", drainWait.String())
 		svc.Drain() // refuse new computations; healthz flips to 503
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("advisord: shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 	}()
 
-	log.Printf("advisord: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "version", server.Version, "trace_ring", *traceRing)
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("advisord: %v", err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	<-done
-	log.Print("advisord: drained, bye")
+	logger.Info("drained, bye")
+}
+
+func fatalUsage(err error) {
+	flag.CommandLine.SetOutput(os.Stderr)
+	os.Stderr.WriteString("advisord: " + err.Error() + "\n")
+	flag.Usage()
+	os.Exit(2)
 }

@@ -7,9 +7,12 @@
 // counts × placements — with an optional off-grid fraction that jitters
 // the matrix order away from the grid (exercising the surrogate between
 // its knots), and -distinct perturbs every request to a unique never-
-// cached shape, pinning the cache-miss path. Results (throughput,
-// latency percentiles, status/provenance counts) are printed and
-// optionally written as JSON for BENCH_advisord.json.
+// cached shape, pinning the cache-miss path. Every request carries a
+// client-chosen traceparent, so the slowest observations print with the
+// trace ID to fetch from /debug/trace/{id}. Results (throughput, latency
+// percentiles, status counts, the server's build identity and its SLO
+// verdicts) are printed and optionally written as JSON for
+// BENCH_advisord.json.
 package main
 
 import (
@@ -34,6 +37,26 @@ type result struct {
 	latency time.Duration
 	status  int
 	err     bool
+	traceID string
+}
+
+// versionInfo mirrors the server's GET /version body.
+type versionInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Surrogate string `json:"surrogate"`
+}
+
+// sloObjective is the slice of the /debug/slo body the verdict line needs.
+type sloObjective struct {
+	Name     string `json:"name"`
+	Requests uint64 `json:"requests"`
+	Verdict  string `json:"verdict"`
+}
+
+type slowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 type summary struct {
@@ -48,6 +71,9 @@ type summary struct {
 	Status      map[string]int     `json:"status"`
 	Throughput  float64            `json:"throughput_rps"`
 	LatencyMs   map[string]float64 `json:"latency_ms"`
+	Server      *versionInfo       `json:"server,omitempty"`
+	SLOVerdicts map[string]string  `json:"slo_verdicts,omitempty"`
+	Slowest     []slowTrace        `json:"slowest_traces,omitempty"`
 }
 
 func main() {
@@ -75,6 +101,13 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Identify the server under test before loading it.
+	server := fetchVersion(client, *base)
+	if server != nil {
+		fmt.Printf("server: advisord %s (%s, surrogate %s)\n", server.Version, server.GoVersion, server.Surrogate)
+	}
+
 	var uniq atomic.Int64 // distinct-mode perturbation, shared across workers
 	var wg sync.WaitGroup
 	results := make([][]result, *conc)
@@ -86,10 +119,19 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			for time.Now().Before(deadline) {
 				url := *base + nextPath(rng, *endpoint, *offGrid, *distinct, &uniq)
+				// Name the trace client-side (W3C traceparent) so a slow
+				// observation maps straight to a fetchable server trace.
+				traceID := fmt.Sprintf("%016x%016x", rng.Uint64()|1, rng.Uint64())
+				req, err := http.NewRequest(http.MethodGet, url, nil)
+				if err != nil {
+					results[w] = append(results[w], result{err: true})
+					continue
+				}
+				req.Header.Set("traceparent", "00-"+traceID+"-0000000000000001-01")
 				start := time.Now()
-				resp, err := client.Get(url)
+				resp, err := client.Do(req)
 				lat := time.Since(start)
-				r := result{latency: lat}
+				r := result{latency: lat, traceID: traceID}
 				if err != nil {
 					r.err = true
 				} else {
@@ -111,6 +153,7 @@ func main() {
 		log.Fatal("advisorload: no requests completed")
 	}
 	s := summarize(all, *base, *endpoint, *conc, *duration, *distinct, *offGrid)
+	s.Server = server
 	fmt.Printf("advisorload: %d requests in %.1fs (%.0f req/s), %d errors\n",
 		s.Requests, s.DurationS, s.Throughput, s.Errors)
 	fmt.Printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
@@ -123,6 +166,25 @@ func main() {
 	for _, code := range codes {
 		fmt.Printf("status %s: %d\n", code, s.Status[code])
 	}
+	for _, st := range s.Slowest {
+		fmt.Printf("slow request: %.3fms  trace %s  (GET %s/debug/trace/%s)\n",
+			st.LatencyMs, st.TraceID, *base, st.TraceID)
+	}
+
+	// The server's own verdict on the run: observed SLO compliance.
+	if verdicts := fetchSLOVerdicts(client, *base); len(verdicts) > 0 {
+		s.SLOVerdicts = map[string]string{}
+		var names []string
+		for _, o := range verdicts {
+			s.SLOVerdicts[o.Name] = o.Verdict
+			names = append(names, o.Name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("slo %s: %s\n", name, s.SLOVerdicts[name])
+		}
+	}
+
 	if *jsonOut != "" {
 		b, err := json.MarshalIndent(s, "", " ")
 		if err != nil {
@@ -135,6 +197,51 @@ func main() {
 	if s.Errors > 0 || s.Status[fmt.Sprint(http.StatusOK)] != s.Requests {
 		os.Exit(1)
 	}
+}
+
+// fetchVersion asks the server who it is; nil when /version is absent
+// (an older advisord), which is informational, not fatal.
+func fetchVersion(client *http.Client, base string) *versionInfo {
+	resp, err := client.Get(base + "/version")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var vi versionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&vi); err != nil {
+		return nil
+	}
+	return &vi
+}
+
+// fetchSLOVerdicts reads /debug/slo after the run.
+func fetchSLOVerdicts(client *http.Client, base string) []sloObjective {
+	resp, err := client.Get(base + "/debug/slo")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var rep struct {
+		Objectives []sloObjective `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil
+	}
+	var out []sloObjective
+	for _, o := range rep.Objectives {
+		if o.Requests > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // nextPath draws one request from the mix: a paper grid cell, its matrix
@@ -182,6 +289,9 @@ func nextPath(rng *rand.Rand, endpoint string, offGrid int, distinct bool, uniq 
 	return b.String()
 }
 
+// slowestCount bounds the printed worst observations.
+const slowestCount = 3
+
 func summarize(all []result, url, endpoint string, conc int, d time.Duration, distinct bool, offGrid int) summary {
 	lats := make([]float64, 0, len(all))
 	s := summary{
@@ -214,5 +324,21 @@ func summarize(all []result, url, endpoint string, conc int, d time.Duration, di
 		"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99), "max": pct(1),
 	}
 	s.Throughput = float64(s.Requests) / d.Seconds()
+
+	// The worst observations, with the trace IDs to go fetch.
+	byLatency := append([]result(nil), all...)
+	sort.Slice(byLatency, func(i, j int) bool { return byLatency[i].latency > byLatency[j].latency })
+	for _, r := range byLatency {
+		if len(s.Slowest) == slowestCount {
+			break
+		}
+		if r.err || r.traceID == "" {
+			continue
+		}
+		s.Slowest = append(s.Slowest, slowTrace{
+			TraceID:   r.traceID,
+			LatencyMs: float64(r.latency) / float64(time.Millisecond),
+		})
+	}
 	return s
 }

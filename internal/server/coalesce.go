@@ -30,10 +30,12 @@ func NewCoalescer() *Coalescer {
 
 // Do runs fn for key unless an identical call is already in flight, in
 // which case it waits for that call's result instead. The returned
-// shared flag is true for followers. A follower stops waiting when its
-// ctx expires (the leader keeps computing — its result still lands in
-// the cache for future requests). The leader runs fn to completion
-// regardless of ctx so a storm of short-deadline followers cannot starve
+// shared flag is true for followers that actually received the leader's
+// result (or its error); a follower whose ctx expires while waiting
+// reports shared=false — it shared nothing, and counting it as coalesced
+// would double-book it with the deadline shed accounting. The leader
+// keeps computing regardless (its result still lands in the cache for
+// future requests), so a storm of short-deadline followers cannot starve
 // the computation they are all waiting on.
 func (c *Coalescer) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
 	c.mu.Lock()
@@ -43,7 +45,7 @@ func (c *Coalescer) Do(ctx context.Context, key string, fn func() ([]byte, error
 		case <-call.done:
 			return call.body, true, call.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 	}
 	call := &coalescedCall{done: make(chan struct{})}

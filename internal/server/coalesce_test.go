@@ -81,8 +81,11 @@ func TestCoalescerFollowerHonoursDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	_, shared, err := c.Do(ctx, "k", func() ([]byte, error) { t.Fatal("follower must not compute"); return nil, nil })
-	if !shared || !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("follower: shared=%v err=%v, want shared deadline error", shared, err)
+	if shared || !errors.Is(err, context.DeadlineExceeded) {
+		// shared must be false: the follower received nothing from the
+		// leader, and reporting it as coalesced would double-count it with
+		// the deadline shed metrics.
+		t.Fatalf("follower: shared=%v err=%v, want unshared deadline error", shared, err)
 	}
 	close(release) // the leader still completes
 }

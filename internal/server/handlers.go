@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -425,38 +426,61 @@ func ParseSweepRequest(r *http.Request) (SweepRequest, error) {
 
 // --- handlers ---
 
+// parseStage wraps one handler's parse step in a trace span.
+func parseStage[T any](r *http.Request, parse func() (T, error)) (T, error) {
+	sp := requestTraceFrom(r.Context()).stage("parse")
+	req, err := parse()
+	sp.SetAttr("ok", err == nil)
+	sp.End()
+	return req, err
+}
+
+// marshalStage wraps a compute closure's body rendering in a trace span.
+func marshalStage(ctx context.Context, v any) ([]byte, error) {
+	sp := requestTraceFrom(ctx).stage("marshal")
+	b, err := marshalBody(v)
+	sp.End()
+	return b, err
+}
+
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	req, err := ParseRecommendRequest(r.URL.Query())
+	req, err := parseStage(r, func() (RecommendRequest, error) { return ParseRecommendRequest(r.URL.Query()) })
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "recommend", req.cacheKey(), s.fastRecommend(req), func(context.Context) ([]byte, error) {
+	s.serveCached(w, r, "recommend", req.cacheKey(), s.fastRecommend(req), func(ctx context.Context) ([]byte, error) {
 		resp, err := s.evalRecommend(req)
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(resp)
+		// ctx, not the handler's request: a background surrogate refresh
+		// reuses this closure with an untraced context.
+		rt := requestTraceFrom(ctx)
+		rt.attachSolver(0, resp.IMe, 0, 0)
+		rt.attachSolver(0, resp.ScaLAPACK, 0, 0)
+		return marshalStage(ctx, resp)
 	})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	req, err := ParsePredictRequest(r.URL.Query())
+	req, err := parseStage(r, func() (PredictRequest, error) { return ParsePredictRequest(r.URL.Query()) })
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveCached(w, r, "predict", req.cacheKey(), s.fastPredict(req), func(context.Context) ([]byte, error) {
+	s.serveCached(w, r, "predict", req.cacheKey(), s.fastPredict(req), func(ctx context.Context) ([]byte, error) {
 		resp, err := s.evalPredict(req)
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(resp)
+		requestTraceFrom(ctx).attachSolver(0, resp.CellResult, resp.ComputeS, resp.ExposedCommS)
+		return marshalStage(ctx, resp)
 	})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	req, err := ParseSweepRequest(r)
+	req, err := parseStage(r, func() (SweepRequest, error) { return ParseSweepRequest(r) })
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -466,11 +490,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(resp)
+		if rt := requestTraceFrom(ctx); rt != nil {
+			// Tile the cells sequentially per algorithm track: each track
+			// reads as that solver's total modelled time for the sweep.
+			ends := make(map[string]float64)
+			for _, c := range resp.Cells {
+				ends[c.Algorithm] = rt.attachSolver(ends[c.Algorithm], c, 0, 0)
+			}
+		}
+		return marshalStage(ctx, resp)
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.updateSLOGauges()
 	var buf bytes.Buffer
 	if err := s.cfg.Registry.WritePrometheus(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -479,6 +512,87 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
+}
+
+// updateSLOGauges mirrors the SLO report into slo_* gauges so the burn
+// rates ride the normal metrics pipeline (scraped alongside everything
+// else; refreshed lazily at exposition time, like the report itself).
+func (s *Server) updateSLOGauges() {
+	reg := s.cfg.Registry
+	for _, o := range s.slo.Report().Objectives {
+		reg.Gauge("slo_latency_compliance", "Cumulative fraction of requests within the latency bound.", "slo", o.Name).Set(o.LatencyCompliance)
+		reg.Gauge("slo_availability", "Cumulative fraction of non-5xx responses.", "slo", o.Name).Set(o.Availability)
+		reg.Gauge("slo_verdict", "Objective state: 0 ok, 1 at-risk, 2 breach.", "slo", o.Name).Set(verdictValue(o.Verdict))
+		for _, win := range o.Windows {
+			reg.Gauge("slo_burn_rate", "Error-budget burn rate by objective, window and budget.",
+				"slo", o.Name, "window", win.Window, "budget", "latency").Set(win.LatencyBurn)
+			reg.Gauge("slo_burn_rate", "Error-budget burn rate by objective, window and budget.",
+				"slo", o.Name, "window", win.Window, "budget", "availability").Set(win.AvailabilityBurn)
+		}
+	}
+}
+
+func verdictValue(v string) float64 {
+	switch v {
+	case "at-risk":
+		return 1
+	case "breach":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// VersionInfo is the body of GET /version — the same identity the
+// server_build_info gauge carries as labels.
+type VersionInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Surrogate string `json:"surrogate"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalBody(VersionInfo{
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		Surrogate: surrogateVersion(s.cfg.Surrogate),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalBody(s.ring.Snapshot())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.ring.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace "+id+" not retained (it may have aged out of the ring)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	tr.WriteChromeTrace(w)
+}
+
+func (s *Server) handleDebugSLO(w http.ResponseWriter, _ *http.Request) {
+	s.updateSLOGauges()
+	body, err := marshalBody(s.slo.Report())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBody(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

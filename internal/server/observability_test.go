@@ -1,0 +1,403 @@
+package server
+
+// Observability-plane coverage: the request-trace pipeline (serving-stage
+// spans + nested modelled-solver spans, exported in the Perfetto format
+// the engine's own reader parses), the exemplar-bearing exposition, the
+// /debug inspection endpoints, the SLO tracker wiring, and the audit
+// tests pinning metric deltas on every early-return path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// getWithTraceparent fires a GET carrying an inbound traceparent header.
+func getWithTraceparent(t *testing.T, url, traceparent string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), resp.Header
+}
+
+// TestComputeRequestYieldsFullTrace is the tentpole acceptance criterion:
+// one compute-path /v1/predict request yields a fetchable trace holding
+// every serving-stage span AND the nested modelled-solver spans with
+// energy totals, valid under the engine's own Perfetto reader.
+func TestComputeRequestYieldsFullTrace(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, hdr := get(t, ts.URL+"/v1/predict?alg=IMe&n=8640&ranks=144")
+	if code != http.StatusOK {
+		t.Fatalf("predict: %d", code)
+	}
+	id, ok := telemetry.ParseTraceparent(hdr.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q unparseable", hdr.Get("Traceparent"))
+	}
+
+	code, traceBody, _ := get(t, ts.URL+"/debug/trace/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch: %d: %s", code, traceBody)
+	}
+	spans, err := mpi.ReadChromeTrace(bytes.NewReader(traceBody))
+	if err != nil {
+		t.Fatalf("trace not parseable by mpi.ReadChromeTrace: %v", err)
+	}
+
+	byName := map[string]int{}
+	for _, sp := range spans {
+		byName[sp.Kind+"/"+sp.Name]++
+	}
+	for _, want := range []string{
+		"stage/predict", "stage/parse", "stage/cache-lookup",
+		"stage/coalesce", "stage/admission-queue", "stage/compute", "stage/marshal",
+		"model/solve", "model/compute", "model/exposed-comm",
+	} {
+		if byName[want] == 0 {
+			t.Errorf("trace missing span %s (got %v)", want, byName)
+		}
+	}
+
+	// The solve span carries the energy totals as args.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var energy float64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "solve" {
+			energy, _ = e.Args["energy_j"].(float64)
+		}
+	}
+	if energy <= 0 {
+		t.Fatal("solve span carries no positive energy_j")
+	}
+
+	// The digest agrees: same request in /debug/requests with the full
+	// stage list and the same energy.
+	code, reqsBody, _ := get(t, ts.URL+"/debug/requests")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests: %d", code)
+	}
+	var snap RingSnapshot
+	if err := json.Unmarshal(reqsBody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Recent) != 1 {
+		t.Fatalf("recent digests = %d, want 1", len(snap.Recent))
+	}
+	d := snap.Recent[0]
+	if d.ID != id || d.Endpoint != "predict" || d.Status != 200 || d.Source != "compute" {
+		t.Fatalf("digest = %+v", d)
+	}
+	if d.EnergyJ != energy {
+		t.Fatalf("digest energy %g != trace energy %g", d.EnergyJ, energy)
+	}
+	if len(d.Stages) < 5 {
+		t.Fatalf("digest stages = %+v, want the full pipeline", d.Stages)
+	}
+}
+
+func TestInboundTraceparentHonoured(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := "abcdefabcdefabcdefabcdefabcdef01"
+	code, _, hdr := getWithTraceparent(t, ts.URL+"/v1/recommend?n=8640&ranks=144",
+		"00-"+want+"-00000000000000ab-01")
+	if code != http.StatusOK {
+		t.Fatalf("recommend: %d", code)
+	}
+	if got, _ := telemetry.ParseTraceparent(hdr.Get("Traceparent")); got != want {
+		t.Fatalf("trace id = %q, want inbound %q", got, want)
+	}
+	if _, ok := s.ring.Trace(want); !ok {
+		t.Fatal("inbound trace ID not retained in the ring")
+	}
+	// A recommend trace carries both solvers' tracks.
+	var buf bytes.Buffer
+	tr, _ := s.ring.Trace(want)
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, track := range []string{"IMe", "ScaLAPACK"} {
+		if !strings.Contains(buf.String(), fmt.Sprintf("%q", track)) {
+			t.Errorf("recommend trace missing %s track", track)
+		}
+	}
+}
+
+func TestExemplarsReferenceRealTraces(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=8640&ranks=144"); code != 200 {
+		t.Fatal("predict failed")
+	}
+	code, metrics, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	re := regexp.MustCompile(`server_request_seconds_bucket\{endpoint="predict",le="[^"]+"\} \d+ # \{trace_id="([0-9a-f]{32})"\}`)
+	m := re.FindSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("no exemplar on the predict latency histogram:\n%s", metrics)
+	}
+	// The exemplar's trace ID is fetchable.
+	if code, body, _ := get(t, ts.URL+"/debug/trace/"+string(m[1])); code != http.StatusOK {
+		t.Fatalf("exemplar trace %s not fetchable: %d %s", m[1], code, body)
+	}
+	// SLO gauges ride the same exposition.
+	for _, want := range []string{"slo_burn_rate{", "slo_latency_compliance{", "slo_verdict{", "server_build_info{"} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestVersionEndpointMatchesBuildInfo(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, _ := get(t, ts.URL+"/version")
+	if code != http.StatusOK {
+		t.Fatalf("/version: %d", code)
+	}
+	var vi VersionInfo
+	if err := json.Unmarshal(body, &vi); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != Version || vi.GoVersion == "" || vi.Surrogate != "none" {
+		t.Fatalf("version info = %+v", vi)
+	}
+	_, metrics, _ := get(t, ts.URL+"/metrics")
+	want := fmt.Sprintf(`server_build_info{go_version=%q,surrogate="none",version=%q} 1`, vi.GoVersion, Version)
+	if !strings.Contains(string(metrics), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+}
+
+func TestDebugSLOConsistentWithTraffic(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		if code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=8640&ranks=144"); code != 200 {
+			t.Fatal("predict failed")
+		}
+	}
+	code, body, _ := get(t, ts.URL+"/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slo: %d", code)
+	}
+	var rep telemetry.SLOReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objectives) != 3 {
+		t.Fatalf("objectives = %d, want 3 (recommend, predict, sweep)", len(rep.Objectives))
+	}
+	for _, o := range rep.Objectives {
+		switch o.Name {
+		case "predict":
+			if o.Requests != 5 || o.Availability != 1 {
+				t.Fatalf("predict SLO = %+v", o)
+			}
+			if len(o.Windows) == 0 {
+				t.Fatal("predict SLO has no windows")
+			}
+		case "recommend", "sweep":
+			if o.Requests != 0 {
+				t.Fatalf("%s saw traffic: %+v", o.Name, o)
+			}
+		default:
+			t.Fatalf("unexpected objective %q", o.Name)
+		}
+	}
+}
+
+// TestTracingOffInvariant is the satellite invariant: with tracing and
+// logging disabled the served bodies are byte-identical to the default
+// configuration's, and no traceparent/inspection surface appears.
+func TestTracingOffInvariant(t *testing.T) {
+	on := httptest.NewServer(New(Config{}).Handler())
+	defer on.Close()
+	off := httptest.NewServer(New(Config{TraceRing: -1}).Handler())
+	defer off.Close()
+
+	for _, path := range []string{
+		"/v1/predict?alg=IMe&n=8640&ranks=144",
+		"/v1/recommend?n=17280&ranks=576&objective=min-energy",
+		"/v1/predict?alg=ScaLAPACK&n=8640&ranks=144", // cold
+		"/v1/predict?alg=IMe&n=8640&ranks=144",       // warm (cache hit)
+	} {
+		codeOn, bodyOn, _ := get(t, on.URL+path)
+		codeOff, bodyOff, hdrOff := get(t, off.URL+path)
+		if codeOn != codeOff || !bytes.Equal(bodyOn, bodyOff) {
+			t.Fatalf("%s: traced and untraced responses differ (%d vs %d)\non:  %s\noff: %s",
+				path, codeOn, codeOff, bodyOn, bodyOff)
+		}
+		if hdrOff.Get("Traceparent") != "" {
+			t.Fatalf("%s: untraced server advertised a traceparent", path)
+		}
+	}
+	// The inspection surface reports empty, not errors.
+	code, body, _ := get(t, off.URL+"/debug/requests")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/requests off: %d", code)
+	}
+	var snap RingSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Recent)+len(snap.Slowest)+len(snap.Errored) != 0 {
+		t.Fatalf("untraced ring not empty: %+v", snap)
+	}
+}
+
+// TestEarlyReturnMetricDeltas is the satellite audit: every early-return
+// path (parse 400, queue-full 429, draining 503, deadline 504) leaves
+// the counters and gauges exactly where they should be — in particular
+// the queue-depth gauge returns to zero after a deadline expiry.
+func TestEarlyReturnMetricDeltas(t *testing.T) {
+	cases := []struct {
+		name       string
+		code       int
+		shedReason string // "" = no shed counter
+		misses     float64
+		coalesced  float64
+		run        func(t *testing.T, s *Server, ts *httptest.Server, entered, release chan struct{}) int
+	}{
+		{
+			name: "parse-error-400",
+			code: 400,
+			run: func(t *testing.T, s *Server, ts *httptest.Server, _, _ chan struct{}) int {
+				code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=nope&ranks=144")
+				return code
+			},
+		},
+		{
+			name: "queue-full-429", code: 429, shedReason: "queue-full", misses: 3,
+			run: func(t *testing.T, s *Server, ts *httptest.Server, entered, release chan struct{}) int {
+				// Fill the single slot, then the single queue seat, then shed.
+				first := asyncGet(ts.URL + "/v1/predict?alg=IMe&n=1000&ranks=144")
+				<-entered
+				second := asyncGet(ts.URL + "/v1/predict?alg=IMe&n=2000&ranks=144")
+				waitQueued(t, s, 1)
+				code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=3000&ranks=144")
+				close(release)
+				<-first
+				<-second
+				return code
+			},
+		},
+		{
+			name: "draining-503", code: 503, shedReason: "draining", misses: 1,
+			run: func(t *testing.T, s *Server, ts *httptest.Server, _, _ chan struct{}) int {
+				s.Drain()
+				code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=1000&ranks=144")
+				return code
+			},
+		},
+		{
+			name: "deadline-504", code: 504, shedReason: "deadline", misses: 2,
+			run: func(t *testing.T, s *Server, ts *httptest.Server, entered, release chan struct{}) int {
+				// Hold the only slot so the victim waits in the queue past
+				// its (short) request deadline.
+				first := asyncGet(ts.URL + "/v1/predict?alg=IMe&n=1000&ranks=144")
+				<-entered
+				code, _, _ := get(t, ts.URL+"/v1/predict?alg=IMe&n=2000&ranks=144")
+				close(release)
+				<-first
+				return code
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, entered, release := blockingServer(Config{
+				MaxInflight: 1, MaxQueue: 1, RequestTimeout: 250 * time.Millisecond,
+			})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			if code := tc.run(t, s, ts, entered, release); code != tc.code {
+				t.Fatalf("status = %d, want %d", code, tc.code)
+			}
+			// Give released background requests a beat to finish counting.
+			deadline := time.Now().Add(2 * time.Second)
+			for s.lim.Inflight() != 0 || s.lim.Queued() != 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("limiter did not settle: inflight=%d queued=%d", s.lim.Inflight(), s.lim.Queued())
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			em := s.m.endpoint("predict")
+			if got := s.m.requests("predict", tc.code).Value(); got != 1 {
+				t.Errorf("server_requests_total{%d} = %g, want 1", tc.code, got)
+			}
+			if tc.shedReason != "" {
+				if got := s.m.shed("predict", tc.shedReason).Value(); got != 1 {
+					t.Errorf("server_shed_total{%s} = %g, want 1", tc.shedReason, got)
+				}
+			}
+			if got := em.misses.Value(); got != tc.misses {
+				t.Errorf("cache misses = %g, want %g", got, tc.misses)
+			}
+			// The failed request never shared a coalesced result.
+			if got := em.coalesced.Value(); got != tc.coalesced {
+				t.Errorf("coalesced = %g, want %g", got, tc.coalesced)
+			}
+			// Gauges are back to rest.
+			if got := s.lim.queueGauge.Value(); got != 0 {
+				t.Errorf("server_queue_depth = %g, want 0", got)
+			}
+			if got := s.lim.inflightGauge.Value(); got != 0 {
+				t.Errorf("server_compute_inflight = %g, want 0", got)
+			}
+			// Every 5xx-class failure leaves an errored digest with the
+			// response's error message.
+			if tc.code >= 500 {
+				snap := s.ring.Snapshot()
+				if len(snap.Errored) != 1 || snap.Errored[0].Status != tc.code || snap.Errored[0].Error == "" {
+					t.Errorf("errored digests = %+v, want one status-%d entry with a message", snap.Errored, tc.code)
+				}
+			}
+		})
+	}
+}

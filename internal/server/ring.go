@@ -1,0 +1,175 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// The live-inspection ring: a bounded in-memory record of recent request
+// digests with their full traces, queryable at /debug/requests and
+// /debug/trace/{id}. Three views share the entries — the N most recent
+// requests, the K slowest, and the K most recent errors — so a digest
+// that matters (slow, failed) outlives the recency churn of a busy
+// server. Entries are reference-counted across the views; a trace is
+// fetchable by ID exactly as long as at least one view still holds it.
+
+// Bounds of the slowest/errored side views.
+const (
+	ringSlowest = 32
+	ringErrored = 64
+)
+
+// StageTiming is one serving stage's wall-clock cost inside a digest.
+type StageTiming struct {
+	Name  string  `json:"name"`
+	DurUS float64 `json:"dur_us"`
+}
+
+// RequestDigest is the compact, JSON-stable summary of one served
+// request. Field names are pinned by a golden test — they are the
+// debugging API surface.
+type RequestDigest struct {
+	ID         string        `json:"id"`
+	Endpoint   string        `json:"endpoint"`
+	Status     int           `json:"status"`
+	Source     string        `json:"source,omitempty"` // cache | surrogate | coalesced | compute | error
+	DurationUS float64       `json:"duration_us"`
+	EnergyJ    float64       `json:"energy_j,omitempty"` // modelled job energy, when a model ran
+	Error      string        `json:"error,omitempty"`
+	Stages     []StageTiming `json:"stages,omitempty"`
+}
+
+// ringEntry is one retained request: the digest plus its full trace,
+// reference-counted across the views that hold it.
+type ringEntry struct {
+	digest RequestDigest
+	trace  *telemetry.Trace
+	refs   int
+}
+
+// requestRing holds the three bounded views. Construct with
+// newRequestRing; methods are safe for concurrent use and nil-safe (a
+// nil ring drops everything, so one pointer gates the inspection plane).
+type requestRing struct {
+	mu      sync.Mutex
+	byID    map[string]*ringEntry
+	recent  []*ringEntry // newest last, bounded by size
+	slowest []*ringEntry // descending by duration, bounded by ringSlowest
+	errored []*ringEntry // newest last, bounded by ringErrored
+	size    int
+}
+
+func newRequestRing(size int) *requestRing {
+	if size <= 0 {
+		return nil
+	}
+	return &requestRing{byID: make(map[string]*ringEntry), size: size}
+}
+
+// Add retains one finished request.
+func (r *requestRing) Add(digest RequestDigest, trace *telemetry.Trace) {
+	if r == nil || digest.ID == "" {
+		return
+	}
+	e := &ringEntry{digest: digest, trace: trace}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// A replayed trace ID (client reused a traceparent) would alias the
+	// byID map; keep the newest.
+	if old, ok := r.byID[digest.ID]; ok {
+		old.digest.ID = "" // orphaned: unfindable, dropped as views churn
+	}
+	r.byID[digest.ID] = e
+
+	r.retain(e, &r.recent, r.size)
+	if digest.Error != "" || digest.Status >= 500 {
+		r.retain(e, &r.errored, ringErrored)
+	}
+	// Slowest view: insert in descending duration order, evict the tail.
+	i := len(r.slowest)
+	for i > 0 && r.slowest[i-1].digest.DurationUS < digest.DurationUS {
+		i--
+	}
+	if i < ringSlowest {
+		e.refs++
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = e
+		if len(r.slowest) > ringSlowest {
+			r.release(r.slowest[len(r.slowest)-1])
+			r.slowest = r.slowest[:len(r.slowest)-1]
+		}
+	}
+}
+
+// retain appends e to a FIFO view, evicting the oldest past bound.
+func (r *requestRing) retain(e *ringEntry, view *[]*ringEntry, bound int) {
+	e.refs++
+	*view = append(*view, e)
+	if len(*view) > bound {
+		r.release((*view)[0])
+		copy(*view, (*view)[1:])
+		*view = (*view)[:len(*view)-1]
+	}
+}
+
+// release drops one reference; the last reference removes the entry from
+// the ID index.
+func (r *requestRing) release(e *ringEntry) {
+	e.refs--
+	if e.refs <= 0 && e.digest.ID != "" && r.byID[e.digest.ID] == e {
+		delete(r.byID, e.digest.ID)
+	}
+}
+
+// RingSnapshot is the JSON shape of /debug/requests.
+type RingSnapshot struct {
+	Recent  []RequestDigest `json:"recent"`  // newest first
+	Slowest []RequestDigest `json:"slowest"` // slowest first
+	Errored []RequestDigest `json:"errored"` // newest first
+}
+
+// Snapshot copies the three views.
+func (r *requestRing) Snapshot() RingSnapshot {
+	snap := RingSnapshot{Recent: []RequestDigest{}, Slowest: []RequestDigest{}, Errored: []RequestDigest{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		snap.Recent = append(snap.Recent, r.recent[i].digest)
+	}
+	for _, e := range r.slowest {
+		snap.Slowest = append(snap.Slowest, e.digest)
+	}
+	for i := len(r.errored) - 1; i >= 0; i-- {
+		snap.Errored = append(snap.Errored, r.errored[i].digest)
+	}
+	return snap
+}
+
+// Trace returns the retained trace for a request ID still in some view.
+func (r *requestRing) Trace(id string) (*telemetry.Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok || e.trace == nil {
+		return nil, false
+	}
+	return e.trace, true
+}
+
+// Len returns the number of distinct retained requests.
+func (r *requestRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -85,6 +85,32 @@ type Config struct {
 	// body so steady-state hits converge to exact values. Off by default:
 	// it trades the byte-stable cache for envelope-tight values.
 	SurrogateRefresh bool
+	// TraceRing sizes the live-inspection ring of traced requests served
+	// at /debug/requests (default 256 recent digests; negative disables
+	// request tracing entirely — spans, exemplars and the ring).
+	TraceRing int
+	// Logger receives structured access and lifecycle records (nil — the
+	// default — logs nothing; instruments and traces are unaffected).
+	Logger *telemetry.Logger
+	// SLOs are the per-endpoint service-level objectives tracked at
+	// /debug/slo and in the slo_* metrics (default: DefaultSLOs()).
+	SLOs []telemetry.SLO
+}
+
+// Version identifies this serving-layer build in server_build_info and
+// GET /version.
+const Version = "0.7.0"
+
+// DefaultSLOs are the serving objectives advisord ships with: point
+// lookups answer from cache/surrogate/one analytic evaluation and promise
+// p99 ≤ 5ms; sweeps fan a grid out over the worker pool and promise
+// p99 ≤ 1s. All endpoints promise 99.9% non-5xx responses.
+func DefaultSLOs() []telemetry.SLO {
+	return []telemetry.SLO{
+		{Name: "recommend", LatencyBoundS: 0.005, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+		{Name: "predict", LatencyBoundS: 0.005, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+		{Name: "sweep", LatencyBoundS: 1.0, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+	}
 }
 
 // withDefaults resolves zero fields.
@@ -107,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.SLOs == nil {
+		c.SLOs = DefaultSLOs()
+	}
 	return c
 }
 
@@ -119,6 +151,10 @@ type Server struct {
 	lim       *Limiter
 	runner    *grid.Runner
 	m         *metrics
+	ring      *requestRing
+	slo       *telemetry.SLOTracker
+	log       *telemetry.Logger // request-level records (Warn/Error always; ok-path via okLog)
+	okLog     *telemetry.Logger // sampled child for high-QPS 2xx access records
 	draining  atomic.Bool
 	refreshWG sync.WaitGroup
 
@@ -139,20 +175,44 @@ func New(cfg Config) *Server {
 		lim:    NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
 		runner: grid.New(cfg.SweepWorkers),
 		m:      newMetrics(cfg.Registry),
+		slo:    telemetry.NewSLOTracker(cfg.SLOs, telemetry.SLOTrackerOptions{}),
+		log:    cfg.Logger,
+		okLog:  cfg.Logger.Sampled(okLogSampleEvery),
+	}
+	if cfg.TraceRing > 0 {
+		s.ring = newRequestRing(cfg.TraceRing)
 	}
 	s.lim.inflightGauge = cfg.Registry.Gauge("server_compute_inflight", "Model computations currently holding an admission slot.")
 	s.lim.queueGauge = cfg.Registry.Gauge("server_queue_depth", "Computations waiting for an admission slot.")
 	s.cache.entriesGauge = cfg.Registry.Gauge("server_cache_entries", "Result-cache bodies currently resident.")
 	s.cache.evictedCapacity = cfg.Registry.Counter("server_cache_evictions_total", "Result-cache bodies evicted, by reason.", "reason", "capacity")
 	s.cache.evictedExpired = cfg.Registry.Counter("server_cache_evictions_total", "Result-cache bodies evicted, by reason.", "reason", "expired")
+	cfg.Registry.Gauge("server_build_info", "Serving-layer build identity (value is always 1).",
+		"version", Version, "go_version", runtime.Version(), "surrogate", surrogateVersion(cfg.Surrogate)).Set(1)
 	s.evalRecommend = evalRecommend
 	s.evalPredict = evalPredict
 	s.evalSweep = evalSweep
 	return s
 }
 
+// okLogSampleEvery is the 1-in-N keep rate for successful-response access
+// records: a load run at thousands of QPS keeps the log useful instead of
+// molten, while Warn/Error records always land (Logger.Sampled semantics).
+const okLogSampleEvery = 100
+
+// surrogateVersion labels the build-info gauge's surrogate dimension.
+func surrogateVersion(p *surrogate.Predictor) string {
+	if p == nil {
+		return "none"
+	}
+	return p.Version()
+}
+
 // Registry returns the registry backing /metrics.
 func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
+
+// SLOReport returns the current SLO verdicts (the /debug/slo body).
+func (s *Server) SLOReport() telemetry.SLOReport { return s.slo.Report() }
 
 // Drain puts the server into shutdown mode: /healthz flips to 503, new
 // computations are refused with 503 Retry-After, and in-flight requests
@@ -172,6 +232,13 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	// The inspection plane is served outside instrument(): debugging
+	// traffic must not perturb the serving metrics, traces or SLOs it
+	// reports on.
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
+	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
 	return mux
 }
 
@@ -184,15 +251,28 @@ func (s *Server) Handler() http.Handler {
 // body; it runs at most once across all concurrent identical requests.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string, fast func() ([]byte, bool), compute func(ctx context.Context) ([]byte, error)) {
 	em := s.m.endpoint(endpoint)
-	if body, ok := s.cache.Get(key); ok {
+	ctx := r.Context()
+	rt := requestTraceFrom(ctx)
+
+	sp := rt.stage("cache-lookup")
+	body, ok := s.cache.Get(key)
+	sp.SetAttr("hit", ok)
+	sp.End()
+	if ok {
 		em.hits.Inc()
+		rt.setSource("cache")
 		writeBody(w, http.StatusOK, body)
 		return
 	}
 	em.misses.Inc()
 	if fast != nil {
-		if body, ok := fast(); ok {
+		sp := rt.stage("surrogate")
+		body, ok := fast()
+		sp.SetAttr("in_envelope", ok)
+		sp.End()
+		if ok {
 			em.surrogate.Inc()
+			rt.setSource("surrogate")
 			s.cache.Put(key, body)
 			if s.cfg.SurrogateRefresh {
 				s.refreshExact(endpoint, key, compute)
@@ -202,27 +282,42 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 		}
 		em.fallback.Inc()
 	}
-	ctx := r.Context()
+	coalesce := rt.stage("coalesce")
 	body, shared, err := s.coal.Do(ctx, key, func() ([]byte, error) {
+		// This closure runs on the coalescer leader's goroutine only, so
+		// rt here is the leader's own trace.
 		if s.draining.Load() {
 			return nil, ErrDraining
 		}
-		if err := s.lim.Acquire(ctx); err != nil {
+		admit := rt.stage("admission-queue")
+		err := s.lim.Acquire(ctx)
+		admit.End()
+		if err != nil {
 			return nil, err
 		}
 		defer s.lim.Release()
 		em.compute.Inc()
+		rt.setSource("compute")
+		cs := rt.stage("compute")
+		if rt != nil {
+			rt.compute = cs
+		}
 		b, err := compute(ctx)
+		cs.End()
 		if err != nil {
 			return nil, err
 		}
 		s.cache.Put(key, b)
 		return b, nil
 	})
+	coalesce.SetAttr("shared", shared)
+	coalesce.End()
 	if shared {
 		em.coalesced.Inc()
+		rt.setSource("coalesced")
 	}
 	if err != nil {
+		rt.setSource("error")
 		s.writeComputeError(w, endpoint, err)
 		return
 	}

@@ -59,6 +59,7 @@ func (r *Registry) WritePrometheus(out io.Writer) error {
 		case kindHistogram:
 			bounds := e.h.Bounds()
 			counts := e.h.BucketCounts()
+			exemplars := e.h.Exemplars()
 			var cum uint64
 			for i, c := range counts {
 				cum += c
@@ -66,7 +67,13 @@ func (r *Registry) WritePrometheus(out io.Writer) error {
 				if i < len(bounds) {
 					le = formatValue(bounds[i])
 				}
-				series(w, e.base+"_bucket", e.labels, fmt.Sprintf("le=%q", le), strconv.FormatUint(cum, 10))
+				value := strconv.FormatUint(cum, 10)
+				// OpenMetrics-style exemplar suffix: the bucket's latest
+				// tagged observation, linking the series to a request trace.
+				if ex := exemplars[i]; ex != nil {
+					value += fmt.Sprintf(" # {trace_id=%q} %s", ex.TraceID, formatValue(ex.Value))
+				}
+				series(w, e.base+"_bucket", e.labels, fmt.Sprintf("le=%q", le), value)
 			}
 			series(w, e.base+"_sum", e.labels, "", formatValue(e.h.Sum()))
 			series(w, e.base+"_count", e.labels, "", strconv.FormatUint(e.h.Count(), 10))
@@ -77,8 +84,15 @@ func (r *Registry) WritePrometheus(out io.Writer) error {
 
 // jsonBucket is one histogram bucket in the JSON exposition.
 type jsonBucket struct {
-	LE    string `json:"le"`
-	Count uint64 `json:"count"` // cumulative, like the text format
+	LE       string        `json:"le"`
+	Count    uint64        `json:"count"` // cumulative, like the text format
+	Exemplar *jsonExemplar `json:"exemplar,omitempty"`
+}
+
+// jsonExemplar is a bucket's latest tagged observation.
+type jsonExemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // jsonMetric is one series in the JSON exposition.
@@ -109,6 +123,7 @@ func (r *Registry) WriteJSON(out io.Writer) error {
 			m.Value = &v
 		case kindHistogram:
 			bounds := e.h.Bounds()
+			exemplars := e.h.Exemplars()
 			var cum uint64
 			for i, c := range e.h.BucketCounts() {
 				cum += c
@@ -116,7 +131,11 @@ func (r *Registry) WriteJSON(out io.Writer) error {
 				if i < len(bounds) {
 					le = formatValue(bounds[i])
 				}
-				m.Buckets = append(m.Buckets, jsonBucket{LE: le, Count: cum})
+				b := jsonBucket{LE: le, Count: cum}
+				if ex := exemplars[i]; ex != nil {
+					b.Exemplar = &jsonExemplar{TraceID: ex.TraceID, Value: ex.Value}
+				}
+				m.Buckets = append(m.Buckets, b)
 			}
 			s := e.h.Sum()
 			n := e.h.Count()

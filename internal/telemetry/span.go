@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request-scoped tracing. Where the mpi tracer records a solver's
+// *virtual-time* schedule, this file records the *wall-clock* life of one
+// serving-layer request: a Trace is a bounded bag of spans assembled
+// under a W3C-style trace ID, cheap enough to build on every request and
+// exportable in the same Perfetto/Chrome format the engine traces use —
+// so "why was this request slow" and "what did the modelled solver cost"
+// are answered by one artifact.
+//
+// Concurrency: spans may be started, annotated and ended from any
+// goroutine; the trace serialises appends under one mutex (requests
+// record ~10 spans, so contention is nil). A nil *Trace and a nil *Span
+// are inert, mirroring the registry instruments: one pointer gates the
+// whole tracing plane.
+
+// Attr is one span attribute (insertion-ordered key/value).
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is one finished span of a trace. Wall-clock spans live on
+// the request track (Track == ""); model-time spans (virtual solver
+// seconds) live on named tracks so the two time bases never share an
+// axis. Times are microseconds from the trace anchor.
+type SpanRecord struct {
+	ID      uint64  `json:"id"`
+	Parent  uint64  `json:"parent"` // 0 = root
+	Name    string  `json:"name"`
+	Track   string  `json:"track,omitempty"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+// Trace is one request's span collection, identified by a 32-hex-digit
+// W3C trace ID. Construct with NewTrace; methods are safe for concurrent
+// use and nil-safe.
+type Trace struct {
+	id     string
+	anchor time.Time
+	now    func() time.Time
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []SpanRecord
+}
+
+// NewTrace returns an empty trace anchored at the current wall clock. An
+// empty id draws a fresh random trace ID.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Trace{id: id, now: time.Now}
+	t.anchor = t.now()
+	return t
+}
+
+// NewTraceID returns a random 16-byte trace ID in lowercase hex — the
+// trace-id field of a W3C traceparent header.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; keep the trace
+		// usable anyway with a constant sentinel ID.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace ID ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Span is an open wall-clock span. End it exactly once; SetAttr calls
+// must happen before End. A span belongs to the goroutine that started
+// it (the trace itself is what's shared).
+type Span struct {
+	tr     *Trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// StartSpan opens a named wall-clock span, optionally under a parent.
+func (t *Trace) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: pid, name: name, start: t.now()}
+}
+
+// ID returns the span's trace-local ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and appends its record to the trace.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	end := s.tr.now()
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: float64(s.start.Sub(s.tr.anchor)) / float64(time.Microsecond),
+		DurUS:   float64(end.Sub(s.start)) / float64(time.Microsecond),
+		Attrs:   s.attrs,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, rec)
+	s.tr.mu.Unlock()
+}
+
+// AddVirtualSpan appends a finished model-time span on a named track
+// (virtual solver seconds, not wall time), parented under parent (0 =
+// root). It returns the new span's ID so virtual spans can nest.
+func (t *Trace) AddVirtualSpan(track, name string, parent uint64, startS, endS float64, attrs ...Attr) uint64 {
+	if t == nil || track == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.spans = append(t.spans, SpanRecord{
+		ID:      t.nextID,
+		Parent:  parent,
+		Name:    name,
+		Track:   track,
+		StartUS: startS * 1e6,
+		DurUS:   (endS - startS) * 1e6,
+		Attrs:   attrs,
+	})
+	return t.nextID
+}
+
+// Spans returns the recorded spans sorted by (track, start, -end): the
+// wall-clock request track first, then the virtual tracks, each with
+// wrappers before the primitives they contain.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].DurUS > out[j].DurUS
+	})
+	return out
+}
+
+// --- W3C traceparent ---
+
+// Traceparent renders the header advertising this trace: version 00, the
+// trace ID, the root span as parent-id, sampled flag set.
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", t.id, 1)
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// (version-traceid-parentid-flags). It returns ok=false for anything
+// malformed, letting callers fall back to a generated ID.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	id := strings.ToLower(parts[1])
+	if _, err := hex.DecodeString(id); err != nil {
+		return "", false
+	}
+	if id == strings.Repeat("0", 32) {
+		return "", false
+	}
+	return id, true
+}
+
+// --- Perfetto export ---
+
+// traceEvent is one entry of the Chrome trace-event format (kept local:
+// internal/mpi imports this package, so the envelope is duplicated
+// rather than shared).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Pids of the two processes a request trace renders as.
+const (
+	pidServing = 0 // wall-clock serving stages
+	pidModel   = 1 // virtual-time modelled solver cost
+)
+
+// WriteChromeTrace emits the trace in the Chrome/Perfetto trace-event
+// JSON format (the same {"traceEvents":[...]} envelope the engine's
+// mpi.WriteChromeTrace uses, parseable by mpi.ReadChromeTrace): the
+// serving stages as one wall-clock process, each virtual track as a
+// named thread of a "modelled solver" process. Span and parent IDs ride
+// in args so the hierarchy survives the export.
+func (t *Trace) WriteChromeTrace(out io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil trace")
+	}
+	spans := t.Spans()
+	events := make([]traceEvent, 0, len(spans)+8)
+	events = append(events,
+		traceEvent{Name: "process_name", Ph: "M", Pid: pidServing,
+			Args: map[string]any{"name": "serving " + t.id}},
+		traceEvent{Name: "process_sort_index", Ph: "M", Pid: pidServing,
+			Args: map[string]any{"sort_index": pidServing}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: pidServing, Tid: 0,
+			Args: map[string]any{"name": "request"}},
+	)
+	// Stable thread IDs for the virtual tracks, in first-sorted order.
+	trackTid := map[string]int{}
+	for _, s := range spans {
+		if s.Track == "" {
+			continue
+		}
+		if _, ok := trackTid[s.Track]; !ok {
+			tid := len(trackTid)
+			trackTid[s.Track] = tid
+			events = append(events,
+				traceEvent{Name: "thread_name", Ph: "M", Pid: pidModel, Tid: tid,
+					Args: map[string]any{"name": s.Track}},
+			)
+		}
+	}
+	if len(trackTid) > 0 {
+		events = append(events,
+			traceEvent{Name: "process_name", Ph: "M", Pid: pidModel,
+				Args: map[string]any{"name": "modelled solver (virtual time)"}},
+			traceEvent{Name: "process_sort_index", Ph: "M", Pid: pidModel,
+				Args: map[string]any{"sort_index": pidModel}},
+		)
+	}
+	for _, s := range spans {
+		e := traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.StartUS,
+			Dur:  s.DurUS,
+			Pid:  pidServing,
+			Tid:  0,
+			Cat:  "stage",
+			Args: map[string]any{"kind": "stage", "name": s.Name, "span": s.ID, "parent": s.Parent},
+		}
+		if s.Track != "" {
+			e.Pid = pidModel
+			e.Tid = trackTid[s.Track]
+			e.Cat = "model"
+			e.Args["kind"] = "model"
+			e.Args["track"] = s.Track
+		}
+		for _, a := range s.Attrs {
+			e.Args[a.Key] = a.Value
+		}
+		events = append(events, e)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

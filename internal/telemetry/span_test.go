@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpansNestAndSort(t *testing.T) {
+	tr := NewTrace("0123456789abcdef0123456789abcdef")
+	if tr.ID() != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("trace id = %q", tr.ID())
+	}
+	root := tr.StartSpan("recommend", nil)
+	child := tr.StartSpan("cache", root)
+	child.SetAttr("hit", false)
+	child.End()
+	solve := tr.AddVirtualSpan("IMe", "solve", root.ID(), 0, 2.5, Attr{Key: "energy_j", Value: 100.0})
+	tr.AddVirtualSpan("IMe", "compute", solve, 0, 2.0)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	// Wall track sorts first (empty track name), wrappers before children.
+	if spans[0].Name != "recommend" || spans[0].Track != "" || spans[0].Parent != 0 {
+		t.Fatalf("first span = %+v, want the root", spans[0])
+	}
+	if spans[1].Name != "cache" || spans[1].Parent != spans[0].ID {
+		t.Fatalf("second span = %+v, want cache under root", spans[1])
+	}
+	if spans[2].Track != "IMe" || spans[2].Name != "solve" || spans[2].DurUS != 2.5e6 {
+		t.Fatalf("virtual span = %+v", spans[2])
+	}
+	if spans[3].Parent != spans[2].ID {
+		t.Fatalf("virtual child not parented: %+v", spans[3])
+	}
+	if len(spans[2].Attrs) != 1 || spans[2].Attrs[0].Key != "energy_j" {
+		t.Fatalf("virtual attrs = %+v", spans[2].Attrs)
+	}
+}
+
+// TestTraceConcurrentSpans creates and ends spans from many goroutines;
+// under -race this is the tracing plane's data-race test.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("")
+	root := tr.StartSpan("root", nil)
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.StartSpan(fmt.Sprintf("stage-%d", w), root)
+				sp.SetAttr("i", i)
+				sp.End()
+				tr.AddVirtualSpan("model", "cell", root.ID(), float64(i), float64(i)+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got, want := len(tr.Spans()), workers*perWorker*2+1; got != want {
+		t.Fatalf("spans = %d, want %d", got, want)
+	}
+	// All span IDs are unique.
+	seen := make(map[uint64]bool)
+	for _, s := range tr.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTrace("")
+	h := tr.Traceparent()
+	id, ok := ParseTraceparent(h)
+	if !ok || id != tr.ID() {
+		t.Fatalf("ParseTraceparent(%q) = %q, %v; want %q", h, id, ok, tr.ID())
+	}
+	for _, bad := range []string{
+		"",
+		"00-short-0000000000000001-01",
+		"00-zzzz456789abcdef0123456789abcdef-0000000000000001-01",
+		"00-00000000000000000000000000000000-0000000000000001-01", // all-zero trace id
+		"00-0123456789abcdef0123456789abcdef-01",                  // missing field
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	// Uppercase hex is normalised to lowercase per the W3C spec.
+	id, ok = ParseTraceparent("00-0123456789ABCDEF0123456789ABCDEF-0000000000000001-01")
+	if !ok || id != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("uppercase traceparent: %q, %v", id, ok)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace id %q not 32 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestWriteChromeTraceEnvelope pins the export format: the
+// {"traceEvents":[...]} envelope with X events carrying span/parent IDs
+// and attributes in args — the shape mpi.ReadChromeTrace parses (the
+// cross-package parse test lives in internal/server, which may import
+// both sides).
+func TestWriteChromeTraceEnvelope(t *testing.T) {
+	tr := NewTrace("deadbeefdeadbeefdeadbeefdeadbeef")
+	root := tr.StartSpan("predict", nil)
+	st := tr.StartSpan("compute", root)
+	st.End()
+	tr.AddVirtualSpan("ScaLAPACK", "solve", st.ID(), 0, 3.25, Attr{Key: "energy_j", Value: 42.0})
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Cat  string         `json:"cat"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var xEvents, modelEvents int
+	var sawEnergy bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		xEvents++
+		if e.Cat == "model" {
+			modelEvents++
+			if e.Pid != pidModel {
+				t.Fatalf("model span on pid %d", e.Pid)
+			}
+			if v, ok := e.Args["energy_j"].(float64); ok && v == 42.0 {
+				sawEnergy = true
+			}
+			if e.Dur != 3.25e6 {
+				t.Fatalf("model span dur = %g µs, want 3.25e6", e.Dur)
+			}
+		}
+		if _, ok := e.Args["span"]; !ok {
+			t.Fatalf("X event %q without span id", e.Name)
+		}
+	}
+	if xEvents != 3 || modelEvents != 1 || !sawEnergy {
+		t.Fatalf("xEvents=%d modelEvents=%d sawEnergy=%v", xEvents, modelEvents, sawEnergy)
+	}
+	if !strings.Contains(buf.String(), "serving deadbeefdeadbeefdeadbeefdeadbeef") {
+		t.Fatal("process metadata does not name the trace")
+	}
+}
+
+func TestNilTraceInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x", nil)
+	sp.SetAttr("k", 1)
+	sp.End()
+	if tr.ID() != "" || tr.Spans() != nil || tr.AddVirtualSpan("t", "n", 0, 0, 1) != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil trace export must error")
+	}
+}

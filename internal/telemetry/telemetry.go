@@ -84,12 +84,23 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram counts observations into fixed buckets with inclusive upper
-// bounds (Prometheus `le` semantics) plus an implicit +Inf bucket.
+// bounds (Prometheus `le` semantics) plus an implicit +Inf bucket. Each
+// bucket additionally holds the latest exemplar recorded into it (an
+// observation tagged with the trace ID that produced it), so a latency
+// spike in the exposition links straight to a fetchable request trace.
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds; immutable after creation
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64 // ascending upper bounds; immutable after creation
+	buckets   []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar]
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+}
+
+// Exemplar ties one observation to the trace that produced it
+// (OpenMetrics exemplar semantics: the newest observation wins).
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 // Observe records one sample.
@@ -102,6 +113,35 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	addFloat(&h.sumBits, v)
+}
+
+// ObserveWithExemplar records one sample and, when traceID is non-empty,
+// stores it as the owning bucket's exemplar (lock-free pointer swap; the
+// newest observation per bucket is kept).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// Exemplars returns the per-bucket exemplars (last entry is the +Inf
+// bucket); buckets that never saw a tagged observation are nil.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -243,7 +283,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labelPairs ...
 	if e.h == nil {
 		b := make([]float64, len(bounds))
 		copy(b, bounds)
-		e.h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+		e.h = &Histogram{
+			bounds:    b,
+			buckets:   make([]atomic.Uint64, len(b)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+		}
 	}
 	return e.h
 }
