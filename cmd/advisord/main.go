@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -51,6 +52,8 @@ func main() {
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		useSurrogate = flag.Bool("surrogate", true, "serve in-envelope cache misses from the learned surrogate")
 		surRefresh   = flag.Bool("surrogate-refresh", false, "refresh surrogate-served cache bodies with a background exact compute")
+		storeDir     = flag.String("store", "", "experiment store directory: serve recommend/sweep cells through it and persist computed ones")
+		warmFrom     = flag.Bool("warm-from-store", false, "pre-render cached response bodies from the store at startup (requires -store)")
 		withPprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		traceRing    = flag.Int("trace-ring", 256, "retained request traces for /debug/requests (<0 disables tracing)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -89,7 +92,24 @@ func main() {
 		cfg.Surrogate = p
 		logger.Info("surrogate fast path on", "table", p.Version(), "models", p.Models(), "refresh", *surRefresh)
 	}
+	if *warmFrom && *storeDir == "" {
+		fatalUsage(errors.New("-warm-from-store requires -store"))
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			logger.Error("experiment store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		cfg.Store = st
+		logger.Info("experiment store attached", "dir", *storeDir,
+			"records", st.Len(), "digest", st.Digest())
+	}
 	svc := server.New(cfg)
+	if *warmFrom {
+		logger.Info("cache warmed from store", "bodies", svc.WarmFromStore())
+	}
 	handler := svc.Handler()
 	if *withPprof {
 		// The service mux owns the API routes; mount the profiler beside

@@ -1,0 +1,199 @@
+// Command campaign orchestrates experiment campaigns over the
+// content-addressed store: staged cell sets (the paper grid, scaling
+// sweeps, resilience studies) run across the worker pool with
+// store-backed memoization — a cell already in the store is never
+// computed again, and an interrupted campaign resumes with zero lost
+// work.
+//
+// Usage:
+//
+//	campaign -list                               # show declared campaigns
+//	campaign -store .store -run paper            # compute missing cells
+//	campaign -store .store -run paper -j 8       # same, 8 workers
+//	campaign -store .store -run paper -summary s.json
+//	campaign -store .store -artifacts out/       # emit figure tables from the store
+//	campaign -store .store -experiments EXPERIMENTS.md
+//	campaign -store .store -bench BENCH_store.json
+//
+// Artifacts are emitted strictly from the store (a missing cell is an
+// error, not a recompute) with provenance headers naming the store
+// digest and record count.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
+
+func main() {
+	storeDir := flag.String("store", ".store", "experiment store directory (created if missing)")
+	run := flag.String("run", "", "campaign to run: paper or scaling")
+	workers := flag.Int("j", 1, "concurrent cell evaluations (0 = GOMAXPROCS); results are identical for every value")
+	maxCells := flag.Int("max-cells", 0, "stop after computing this many cells (0 = no budget) — interruption drill; resume by re-running")
+	summaryPath := flag.String("summary", "", "write the run summary JSON here")
+	artifactsDir := flag.String("artifacts", "", "emit every paper artifact from the store into this directory")
+	experimentsPath := flag.String("experiments", "", "regenerate EXPERIMENTS.md from the store at this path")
+	benchPath := flag.String("bench", "", "run the paper campaign cold then warm against the store and write the comparison JSON here")
+	list := flag.Bool("list", false, "list declared campaigns and exit")
+	flag.Parse()
+
+	if err := mainErr(os.Stdout, *storeDir, *run, *workers, *maxCells,
+		*summaryPath, *artifactsDir, *experimentsPath, *benchPath, *list); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		if errors.Is(err, campaign.ErrInterrupted) {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
+}
+
+func mainErr(w io.Writer, storeDir, run string, workers, maxCells int,
+	summaryPath, artifactsDir, experimentsPath, benchPath string, list bool) error {
+
+	if list {
+		return printList(w)
+	}
+	if run == "" && artifactsDir == "" && experimentsPath == "" && benchPath == "" {
+		return fmt.Errorf("nothing to do: pass -run, -artifacts, -experiments, -bench or -list")
+	}
+
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if n := st.Corrupt(); n > 0 {
+		fmt.Fprintf(w, "store: skipped %d torn line(s) from an interrupted writer; the affected cells will be recomputed\n", n)
+	}
+
+	if benchPath != "" {
+		return bench(w, st, workers, benchPath)
+	}
+
+	var runErr error
+	if run != "" {
+		c, err := campaign.Lookup(run)
+		if err != nil {
+			return err
+		}
+		sum, err := campaign.Run(c, st, campaign.RunOptions{Workers: workers, MaxCells: maxCells})
+		if err != nil && !errors.Is(err, campaign.ErrInterrupted) {
+			return err
+		}
+		runErr = err
+		printSummary(w, sum)
+		if summaryPath != "" {
+			if err := writeJSON(summaryPath, sum); err != nil {
+				return err
+			}
+		}
+	}
+	if artifactsDir != "" {
+		names, err := campaign.EmitArtifacts(st, artifactsDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "emitted %d artifacts to %s (%s)\n", len(names), artifactsDir, campaign.Provenance(st))
+	}
+	if experimentsPath != "" {
+		if err := campaign.EmitExperiments(st, experimentsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "regenerated %s from the store\n", experimentsPath)
+	}
+	return runErr
+}
+
+func printList(w io.Writer) error {
+	reg := campaign.Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := reg[name]
+		fmt.Fprintf(w, "%-10s %4d cells  %s\n", c.Name, c.Cells(), c.Description)
+		for _, s := range c.Stages {
+			fmt.Fprintf(w, "    %-20s %4d cells\n", s.Name, s.Cells)
+		}
+	}
+	return nil
+}
+
+func printSummary(w io.Writer, sum campaign.Summary) {
+	for _, s := range sum.Stages {
+		fmt.Fprintf(w, "stage %-20s computed %4d  hits %4d\n", s.Name, s.Computed, s.Hits)
+	}
+	fmt.Fprintf(w, "campaign %s: computed %d, hits %d of %d cells in %.3fs; store has %d records (digest %.12s…)\n",
+		sum.Campaign, sum.ComputedTotal, sum.HitsTotal, sum.CellsTotal, sum.RunWallS,
+		sum.StoreRecords, sum.StoreDigest)
+	if sum.Interrupted {
+		fmt.Fprintln(w, "interrupted by cell budget — re-run to resume with zero lost work")
+	}
+}
+
+// benchResult is the BENCH_store.json schema: the cold-vs-warm evidence
+// that the store never computes a cell twice.
+type benchResult struct {
+	Campaign     string  `json:"campaign"`
+	Workers      int     `json:"workers"`
+	ColdWallS    float64 `json:"cold_wall_s"`
+	ColdComputed int     `json:"cold_computed"`
+	WarmWallS    float64 `json:"warm_wall_s"`
+	WarmComputed int     `json:"warm_computed"`
+	WarmHits     int     `json:"warm_hits"`
+	Speedup      float64 `json:"speedup"`
+	StoreRecords int     `json:"store_records"`
+	StoreDigest  string  `json:"store_digest"`
+}
+
+// bench runs the paper campaign against the store twice — the first run
+// computes whatever is missing (cold when the store is fresh), the
+// second must compute nothing — and records the wall-clock ratio.
+func bench(w io.Writer, st *store.Store, workers int, path string) error {
+	c := campaign.Paper()
+	opt := campaign.RunOptions{Workers: workers}
+	cold, err := campaign.Run(c, st, opt)
+	if err != nil {
+		return err
+	}
+	warm, err := campaign.Run(c, st, opt)
+	if err != nil {
+		return err
+	}
+	if warm.ComputedTotal != 0 {
+		return fmt.Errorf("warm run computed %d cells, want 0 — store memoization broken", warm.ComputedTotal)
+	}
+	res := benchResult{
+		Campaign:     c.Name,
+		Workers:      opt.Workers,
+		ColdWallS:    cold.RunWallS,
+		ColdComputed: cold.ComputedTotal,
+		WarmWallS:    warm.RunWallS,
+		WarmComputed: warm.ComputedTotal,
+		WarmHits:     warm.HitsTotal,
+		Speedup:      cold.RunWallS / warm.RunWallS,
+		StoreRecords: warm.StoreRecords,
+		StoreDigest:  warm.StoreDigest,
+	}
+	fmt.Fprintf(w, "cold: %.3fs (%d computed)  warm: %.6fs (%d computed, %d hits)  speedup %.0f×\n",
+		res.ColdWallS, res.ColdComputed, res.WarmWallS, res.WarmComputed, res.WarmHits, res.Speedup)
+	return writeJSON(path, res)
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -9,6 +9,7 @@
 //	lsbench -figure all -j 8       # same output, 8 artifact builders at once
 //	lsbench -figure 5 -format csv  # one figure as CSV
 //	lsbench -figure 4 -cap 110     # reproduce under a 110 W package cap
+//	lsbench -figure all -store .store  # memoize cells in the experiment store
 //
 // Artifacts are independent experiment cells, so -j N builds them
 // concurrently under one worker budget; emission stays in the canonical
@@ -34,6 +35,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,13 +48,23 @@ func main() {
 	tracePath := flag.String("trace", "", "run an instrumented reference experiment and write its Perfetto trace JSON here")
 	metricsPath := flag.String("metrics", "", "run an instrumented reference experiment and write its Prometheus exposition here")
 	workers := flag.Int("j", 1, "concurrent artifact builders (0 = GOMAXPROCS); output is identical for every value")
+	storeDir := flag.String("store", "", "experiment store directory: reuse stored cells and persist computed ones (output is identical with or without)")
 	faults := flag.Bool("faults", false, "additionally build the resilience artifact: both solvers under a seed-driven crash schedule")
 	mtbf := flag.Float64("mtbf", 0, "with -faults: mean time between rank crashes in virtual seconds (0 = sweep around the fault-free makespan)")
 	seed := flag.Int64("seed", 5, "with -faults: crash-schedule seed")
 	flag.Parse()
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "lsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
 	if err := run(os.Stdout, *figure, *format, !*noOverlap, *capW, *nb, *outdir, *workers,
-		faultsConfig{enabled: *faults, mtbf: *mtbf, seed: *seed}); err != nil {
+		faultsConfig{enabled: *faults, mtbf: *mtbf, seed: *seed}, st); err != nil {
 		fmt.Fprintf(os.Stderr, "lsbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -132,7 +144,12 @@ type faultsConfig struct {
 	seed    int64
 }
 
-func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string, workers int, faults faultsConfig) error {
+// run builds and emits the requested artifacts. st, when non-nil, is the
+// content-addressed experiment store the cell-grid artifacts (sweep,
+// repetitions, resilience) read through and persist to; the emitted
+// bytes are identical with or without it — the store only removes
+// recomputation.
+func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int, outdir string, workers int, faults faultsConfig, st *store.Store) error {
 	runner := grid.New(workers)
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
@@ -186,7 +203,7 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 	var sweep *core.Sweep
 	if needSweep {
 		var err error
-		sweep, err = core.NewSweepParallel(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb}, runner)
+		sweep, _, err = core.NewSweepStored(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb}, runner, st)
 		if err != nil {
 			return err
 		}
@@ -229,14 +246,16 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 					})
 				}
 			}
-			return core.RepetitionStudy(cells,
-				perfmodel.Params{Overlap: overlap, PowerCapW: capW}, 10, 0.05)
+			t, _, err := core.RepetitionStudyStored(cells,
+				perfmodel.Params{Overlap: overlap, PowerCapW: capW}, 10, 0.05, st)
+			return t, err
 		},
 	}
 
 	if faults.enabled {
 		artifacts["resilience"] = func() (*report.Table, error) {
-			return core.ResilienceArtifact(faults.mtbf, faults.seed)
+			t, _, err := core.ResilienceArtifactStored(faults.mtbf, faults.seed, st)
+			return t, err
 		}
 	} else if figure == "resilience" {
 		return fmt.Errorf("the resilience artifact requires -faults")

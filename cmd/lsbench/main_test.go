@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestStoreAndParallelismPreserveOutput is the golden diff: `-figure all`
+// output is byte-identical across every combination of store (absent,
+// cold, warm) and worker count. The store may only remove recomputation,
+// never change a byte; parallel builds may only change wall time.
+func TestStoreAndParallelismPreserveOutput(t *testing.T) {
+	render := func(workers int, st *store.Store) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run(&buf, "all", "table", true, 0, 0, "", workers,
+			faultsConfig{enabled: true, seed: 5}, st); err != nil {
+			t.Fatalf("run(all, j=%d, store=%v): %v", workers, st != nil, err)
+		}
+		return buf.Bytes()
+	}
+
+	baseline := render(1, nil) // serial, storeless: the reference bytes
+
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cases := []struct {
+		name    string
+		workers int
+		st      *store.Store
+	}{
+		{"parallel storeless", 8, nil},
+		{"cold store serial", 1, st},
+		{"warm store serial", 1, st},
+		{"warm store parallel", 8, st},
+	}
+	for _, tc := range cases {
+		if got := render(tc.workers, tc.st); !bytes.Equal(got, baseline) {
+			t.Errorf("%s: output differs from serial storeless baseline", tc.name)
+		}
+	}
+	if st.Len() == 0 {
+		t.Fatal("store is empty after -figure all runs; cells were not persisted")
+	}
+
+	// A fresh handle over the same directory reproduces the bytes with
+	// zero appends — everything served from disk.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := render(8, st2); !bytes.Equal(got, baseline) {
+		t.Error("reopened store: output differs from baseline")
+	}
+	if st2.Appended() != 0 {
+		t.Errorf("reopened store appended %d records, want 0 (everything was stored)", st2.Appended())
+	}
+}

@@ -1,0 +1,16 @@
+package campaign
+
+import (
+	_ "embed"
+	"text/template"
+)
+
+// experimentsTmplText is the EXPERIMENTS.md prose with placeholders for
+// the store-emitted tables; EmitExperiments fills it. Keeping the prose
+// in a template (rather than string concatenation in code) means a docs
+// edit is a template edit, reviewed as markdown.
+//
+//go:embed experiments.tmpl.md
+var experimentsTmplText string
+
+var experimentsTmpl = template.Must(template.New("experiments").Parse(experimentsTmplText))

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/perfmodel"
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 // RepStats summarises repeated runs of one experiment, mirroring the
@@ -70,20 +71,29 @@ func RunRepeatedAnalytic(e Experiment, prm perfmodel.Params, reps int, variabili
 // set of grid cells — the repeatability context §5.3 asks readers to keep
 // in mind when interpreting mild differences.
 func RepetitionStudy(cells []SweepKey, prm perfmodel.Params, reps int, variability float64) (*report.Table, error) {
+	t, _, err := RepetitionStudyStored(cells, prm, reps, variability, nil)
+	return t, err
+}
+
+// RepetitionStudyStored is RepetitionStudy with each repetition memoized
+// in the experiment store; computed counts the repetitions that ran.
+func RepetitionStudyStored(cells []SweepKey, prm perfmodel.Params, reps int, variability float64, est *store.Store) (*report.Table, int, error) {
 	t := &report.Table{
 		Title: fmt.Sprintf("Repeatability: %d repetitions, ±%.0f%% machine variability", reps, variability*100),
 		Headers: []string{"alg", "n", "ranks",
 			"mean s", "min s", "max s", "mean J", "spread %"},
 	}
+	computed := 0
 	for _, cell := range cells {
 		e := Experiment{Algorithm: cell.Algorithm, N: cell.N, Ranks: cell.Ranks, Placement: cell.Placement}
-		st, err := RunRepeatedAnalytic(e, prm, reps, variability)
+		st, ran, err := RunRepeatedAnalyticStored(e, prm, reps, variability, est)
 		if err != nil {
-			return nil, err
+			return nil, computed, err
 		}
+		computed += ran
 		t.Add(cell.Algorithm.String(), cell.N, cell.Ranks,
 			st.MeanDurationS, st.MinDurationS, st.MaxDurationS,
 			st.MeanJ, st.SpreadJ()*100)
 	}
-	return t, nil
+	return t, computed, nil
 }

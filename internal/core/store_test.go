@@ -1,0 +1,315 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestAnalyticStoredExactRoundTrip pins the byte-identity contract at
+// its root: a warm hit must reconstruct exactly the Measurement the
+// cold computation produced — every float64 bit included — because all
+// downstream artifacts (figure tables, advisor bodies) are formatted
+// from these numbers.
+func TestAnalyticStoredExactRoundTrip(t *testing.T) {
+	st := openStore(t)
+	e := Experiment{Algorithm: perfmodel.ScaLAPACK, N: 8640, Ranks: 144, Placement: cluster.FullLoad}
+	prm := perfmodel.Params{Overlap: true}
+
+	cold, computed, err := RunAnalyticStored(e, prm, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !computed {
+		t.Fatal("first run on an empty store must compute")
+	}
+	direct, err := RunAnalytic(e, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, direct) {
+		t.Fatalf("stored cold run diverged from plain RunAnalytic:\n got %+v\nwant %+v", cold, direct)
+	}
+
+	warm, computed, err := RunAnalyticStored(e, prm, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("second run must hit the store")
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm reconstruction diverged from the cold computation:\n got %+v\nwant %+v", warm, cold)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records, want 1", st.Len())
+	}
+}
+
+// TestAnalyticIdentityFoldsBlockSizeOverride pins that the key mirrors
+// RunAnalytic's parameter resolution: the experiment-level BlockSize
+// override and the params-level block size are one experiment.
+func TestAnalyticIdentityFoldsBlockSizeOverride(t *testing.T) {
+	e := Experiment{Algorithm: perfmodel.ScaLAPACK, N: 128, Ranks: 4, Placement: cluster.FullLoad}
+	viaExperiment := e
+	viaExperiment.BlockSize = 32
+	idExp := AnalyticCellIdentity(viaExperiment, perfmodel.Params{})
+	idPrm := AnalyticCellIdentity(e, perfmodel.Params{BlockSize: 32})
+	kExp, _, err := store.KeyFor(idExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPrm, _, err := store.KeyFor(idPrm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kExp != kPrm {
+		t.Fatalf("BlockSize spellings split the identity: %.12s… vs %.12s…", kExp, kPrm)
+	}
+	kDefault, _, err := store.KeyFor(AnalyticCellIdentity(e, perfmodel.Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kDefault == kExp {
+		t.Fatal("nb=32 collides with the default block size")
+	}
+}
+
+// TestAnalyticSeedIrrelevantToIdentity: the analytic engine never reads
+// the input seed, so two experiments differing only in Seed are one cell.
+func TestAnalyticSeedIrrelevantToIdentity(t *testing.T) {
+	e := Experiment{Algorithm: perfmodel.IMe, N: 128, Ranks: 4, Placement: cluster.FullLoad}
+	e2 := e
+	e2.Seed = 99
+	k1, _, err := store.KeyFor(AnalyticCellIdentity(e, perfmodel.Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _, err := store.KeyFor(AnalyticCellIdentity(e2, perfmodel.Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("analytic identity depends on the input seed it never reads")
+	}
+}
+
+// TestEngineSeparatesIdentity: the same cell coordinates under the
+// monitored engine and the analytic engine are different experiments —
+// exact numerics vs modelled schedule must never alias.
+func TestEngineSeparatesIdentity(t *testing.T) {
+	e := Experiment{Algorithm: perfmodel.IMe, N: 96, Ranks: 8, Placement: cluster.FullLoad, Seed: 3}
+	ka, _, err := store.KeyFor(AnalyticCellIdentity(e, perfmodel.Params{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, _, err := store.KeyFor(MonitoredCellIdentity(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == km {
+		t.Fatal("analytic and monitored identities alias")
+	}
+}
+
+// TestMonitoredStoredRoundTrip runs the real solver once and replays it
+// from the store, including the residual only the monitored engine has.
+func TestMonitoredStoredRoundTrip(t *testing.T) {
+	st := openStore(t)
+	e := Experiment{Algorithm: perfmodel.IMe, N: 96, Ranks: 24,
+		Placement: cluster.HalfLoadOneSocket, Seed: 3, BlockSize: 8}
+
+	cold, computed, err := RunMonitoredStored(e, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !computed {
+		t.Fatal("first monitored run must compute")
+	}
+	if cold.Residual <= 0 {
+		t.Fatalf("monitored run has residual %g, want positive", cold.Residual)
+	}
+	warm, computed, err := RunMonitoredStored(e, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("second monitored run must hit the store")
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm monitored reconstruction diverged:\n got %+v\nwant %+v", warm, cold)
+	}
+
+	// Seed and phase are part of the monitored identity.
+	e2 := e
+	e2.Seed = 4
+	if _, computed, err = RunMonitoredStored(e2, st); err != nil {
+		t.Fatal(err)
+	} else if !computed {
+		t.Fatal("different input seed must be a different monitored experiment")
+	}
+}
+
+// TestSweepStoredMatchesParallel: the stored sweep — cold then warm —
+// must reproduce NewSweepParallel's measurements exactly, and the warm
+// pass must compute nothing.
+func TestSweepStoredMatchesParallel(t *testing.T) {
+	st := openStore(t)
+	prm := perfmodel.Params{Overlap: true}
+	r := grid.New(4)
+
+	base, err := NewSweepParallel(prm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, computed, err := NewSweepStored(prm, r, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(SweepKeys()); computed != want {
+		t.Fatalf("cold sweep computed %d cells, want %d", computed, want)
+	}
+	if !reflect.DeepEqual(cold.Measurements, base.Measurements) {
+		t.Fatal("cold stored sweep diverged from the storeless sweep")
+	}
+	warm, computed, err := NewSweepStored(prm, r, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 0 {
+		t.Fatalf("warm sweep computed %d cells, want 0", computed)
+	}
+	if !reflect.DeepEqual(warm.Measurements, base.Measurements) {
+		t.Fatal("warm stored sweep diverged from the storeless sweep")
+	}
+}
+
+// TestDecodeCellInvertsIdentity: enumerating store records must recover
+// the experiments that produced them (the server's warm path).
+func TestDecodeCellInvertsIdentity(t *testing.T) {
+	st := openStore(t)
+	e := Experiment{Algorithm: perfmodel.ScaLAPACK, N: 17280, Ranks: 576, Placement: cluster.HalfLoadTwoSockets}
+	m, _, err := RunAnalyticStored(e, perfmodel.Params{Overlap: true}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := st.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("store holds %d keys, want 1", len(keys))
+	}
+	rec, ok, err := st.Get(keys[0])
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	id, res, err := DecodeCell(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := id.Experiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("identity round trip: got %+v, want %+v", back, e)
+	}
+	if id.Model == nil || id.Model.Model == "" {
+		t.Fatal("analytic cell identity is missing its model version stamp")
+	}
+	m2, err := CellMeasurement(back, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2, m) {
+		t.Fatalf("decoded measurement diverged:\n got %+v\nwant %+v", m2, m)
+	}
+}
+
+// TestResilientStoredRoundTrip memoizes the expensive tier: a resilient
+// run with crashes, replayed exactly from the store.
+func TestResilientStoredRoundTrip(t *testing.T) {
+	st := openStore(t)
+	e := resilientExperiment(perfmodel.IMe)
+	probe, err := RunResilient(e, ResilienceOptions{MTBF: faultFreeMTBF, Seed: 5, Storage: testStorage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := ResilienceOptions{MTBF: probe.BaselineDurationS / 4, Seed: 5, Storage: testStorage()}
+
+	cold, computed, err := RunResilientStored(e, ro, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !computed {
+		t.Fatal("first resilient run must compute")
+	}
+	if cold.Crashes == 0 {
+		t.Fatalf("MTBF %g drew no crashes; the round trip would not cover the faulted fields", ro.MTBF)
+	}
+	warm, computed, err := RunResilientStored(e, ro, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("second resilient run must hit the store")
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm resilient reconstruction diverged:\n got %+v\nwant %+v", warm, cold)
+	}
+
+	// A different fault seed is a different experiment.
+	ro2 := ro
+	ro2.Seed = 6
+	if _, computed, err = RunResilientStored(e, ro2, st); err != nil {
+		t.Fatal(err)
+	} else if !computed {
+		t.Fatal("different fault seed must be a different resilience experiment")
+	}
+}
+
+// TestRepeatedAnalyticStoredMatches: stats folded from stored cells must
+// equal the storeless fold bit-for-bit (same accumulation order, exact
+// per-cell round trips).
+func TestRepeatedAnalyticStoredMatches(t *testing.T) {
+	st := openStore(t)
+	e := Experiment{Algorithm: perfmodel.IMe, N: 8640, Ranks: 144, Placement: cluster.FullLoad}
+	prm := perfmodel.Params{Overlap: true}
+
+	base, err := RunRepeatedAnalytic(e, prm, 5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, computed, err := RunRepeatedAnalyticStored(e, prm, 5, 0.05, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 5 {
+		t.Fatalf("cold repetitions computed %d cells, want 5", computed)
+	}
+	if !reflect.DeepEqual(cold, base) {
+		t.Fatalf("cold stored stats diverged:\n got %+v\nwant %+v", cold, base)
+	}
+	warm, computed, err := RunRepeatedAnalyticStored(e, prm, 5, 0.05, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed != 0 {
+		t.Fatalf("warm repetitions computed %d cells, want 0", computed)
+	}
+	if !reflect.DeepEqual(warm, base) {
+		t.Fatalf("warm stored stats diverged:\n got %+v\nwant %+v", warm, base)
+	}
+}

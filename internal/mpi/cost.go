@@ -24,6 +24,15 @@ type CostModel struct {
 	RecvOverhead float64
 }
 
+// CostModelVersion stamps the *semantics* of the communication cost
+// model — which terms exist and how Wire/BcastTime/AllreduceTime compose
+// them. The concrete constants travel inside the CostModel value itself,
+// so persistent caches keyed on a normalized parameter set already see
+// constant changes; this stamp covers changes the numbers cannot express
+// (a new term, a different collective algorithm). Bump it whenever such a
+// change would make previously stored results stale.
+const CostModelVersion = "hockney-logp/v1"
+
 // DefaultCostModel returns the OmniPath-calibrated model used throughout
 // the reproduction.
 func DefaultCostModel() CostModel {

@@ -128,6 +128,53 @@ func (prm Params) Normalized() Params {
 	return prm
 }
 
+// ModelVersion stamps the analytic engine's schedule-replay semantics —
+// the per-level/per-column critical-path formulas in ime_model.go and
+// scalapack_model.go and the energy integration in energy.go. Bump it on
+// any change that alters model outputs for identical Params, so results
+// persisted across processes are never served across model changes.
+const ModelVersion = "analytic/v1"
+
+// CanonicalIdentity is the persistent cache identity of a Params value:
+// the in-process Normalized identity extended with the version stamps of
+// every versioned model input. Within one process Normalized alone is a
+// sound cache key (the code cannot change under it); across processes and
+// code revisions it is not — the same normalized parameters mean
+// different results once a model formula, the cost-model semantics, the
+// power-model semantics, or a learned coefficient table changes. A
+// content-addressed store therefore keys on this struct's canonical JSON:
+// equal spellings of a request collapse to one key, and any version bump
+// yields a fresh key instead of a stale hit.
+type CanonicalIdentity struct {
+	// Params is the fully normalized parameter set, concrete constants
+	// included (a calibration retune changes the identity by itself).
+	Params Params `json:"params"`
+	// Model is ModelVersion: the analytic schedule-replay semantics.
+	Model string `json:"model"`
+	// Cost is mpi.CostModelVersion: the communication-model semantics.
+	Cost string `json:"cost"`
+	// Calibration is power.CalibrationVersion: the power-model semantics.
+	Calibration string `json:"calibration"`
+	// Coefficients names the learned coefficient table a result was
+	// derived from (surrogate.Predictor.Version()); empty for exact
+	// analytic results. Exact and surrogate-derived results must never
+	// share an identity, and retrained tables must never serve results
+	// fitted by their predecessors.
+	Coefficients string `json:"coefficients,omitempty"`
+}
+
+// CanonicalIdentity returns the versioned identity of an exact analytic
+// evaluation under these params. Callers persisting surrogate-derived
+// results set Coefficients to the predictor's table version themselves.
+func (prm Params) CanonicalIdentity() CanonicalIdentity {
+	return CanonicalIdentity{
+		Params:      prm.Normalized(),
+		Model:       ModelVersion,
+		Cost:        mpi.CostModelVersion,
+		Calibration: power.CalibrationVersion,
+	}
+}
+
 func (prm *Params) normalize() {
 	if prm.Cost == (mpi.CostModel{}) {
 		prm.Cost = mpi.DefaultCostModel()

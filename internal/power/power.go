@@ -21,6 +21,14 @@ package power
 
 import "fmt"
 
+// CalibrationVersion stamps the semantics of the additive power model —
+// the integration formulas above, not the constants (those travel inside
+// the Calibration value and change cache identities by themselves). Bump
+// it when the model form changes in a way the numbers cannot express, so
+// persistent result stores never serve energies integrated under an older
+// model.
+const CalibrationVersion = "additive/v1"
+
 // Calibration bundles the electrical constants of one node type. All
 // powers are watts, energies joules, traffic bytes.
 type Calibration struct {

@@ -167,6 +167,13 @@ func evalRecommend(req RecommendRequest) (RecommendResponse, error) {
 	if err != nil {
 		return RecommendResponse{}, err
 	}
+	return recommendResponse(req, rec), nil
+}
+
+// recommendResponse renders a recommendation as the response body. Both
+// the compute path and the store-backed path (serving and warming) build
+// bodies through here, keeping them byte-identical.
+func recommendResponse(req RecommendRequest, rec core.Recommendation) RecommendResponse {
 	return RecommendResponse{
 		N:         req.N,
 		Ranks:     req.Ranks,
@@ -176,7 +183,7 @@ func evalRecommend(req RecommendRequest) (RecommendResponse, error) {
 		MarginPct: 100 * rec.Margin,
 		IMe:       cellResult(rec.IMe),
 		ScaLAPACK: cellResult(rec.ScaLAPACK),
-	}, nil
+	}
 }
 
 func evalPredict(req PredictRequest) (PredictResponse, error) {
@@ -220,13 +227,19 @@ func evalSweep(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResp
 	if err != nil {
 		return SweepResponse{}, err
 	}
+	return sweepResponse(req, cells), nil
+}
+
+// sweepResponse renders evaluated cells as the response body — shared by
+// the compute path, the store-backed path and cache warming.
+func sweepResponse(req SweepRequest, cells []CellResult) SweepResponse {
 	return SweepResponse{
 		Count:     len(cells),
 		Overlap:   req.Overlap,
 		BlockSize: req.BlockSize,
 		PowerCapW: req.PowerCapW,
 		Cells:     cells,
-	}, nil
+	}
 }
 
 // --- parsing ---

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/store"
 	"repro/internal/surrogate"
 	"repro/internal/telemetry"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// body so steady-state hits converge to exact values. Off by default:
 	// it trades the byte-stable cache for envelope-tight values.
 	SurrogateRefresh bool
+	// Store, when non-nil, is the content-addressed experiment store the
+	// compute endpoints resolve grid cells through: /v1/recommend and
+	// /v1/sweep serve stored cells without touching the model and append
+	// every cell they do compute, sharing results with campaign runs and
+	// future server processes. /v1/predict keeps the exact path (its body
+	// carries phase-split timings outside the stored cell schema). Stored
+	// and computed bodies are byte-identical. See WarmFromStore for
+	// pre-rendering cached bodies at startup.
+	Store *store.Store
 	// TraceRing sizes the live-inspection ring of traced requests served
 	// at /debug/requests (default 256 recent digests; negative disables
 	// request tracing entirely — spans, exemplars and the ring).
@@ -158,6 +168,10 @@ type Server struct {
 	draining  atomic.Bool
 	refreshWG sync.WaitGroup
 
+	// Store-cell resolution counters (nil without Config.Store).
+	storeHits     *telemetry.Counter
+	storeComputed *telemetry.Counter
+
 	// Evaluators, injectable by tests to count/delay computations; New
 	// wires the real model. Handlers only reach the model through these.
 	evalRecommend func(RecommendRequest) (RecommendResponse, error)
@@ -192,6 +206,13 @@ func New(cfg Config) *Server {
 	s.evalRecommend = evalRecommend
 	s.evalPredict = evalPredict
 	s.evalSweep = evalSweep
+	if cfg.Store != nil {
+		const help = "Grid cells resolved through the experiment store, by outcome."
+		s.storeHits = cfg.Registry.Counter("server_store_cells_total", help, "result", "hit")
+		s.storeComputed = cfg.Registry.Counter("server_store_cells_total", help, "result", "computed")
+		s.evalRecommend = s.storeRecommend
+		s.evalSweep = s.storeSweep
+	}
 	return s
 }
 

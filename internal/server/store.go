@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+)
+
+// Store-backed serving: with Config.Store set, /v1/recommend and
+// /v1/sweep resolve every grid cell through the content-addressed
+// experiment store — a stored cell skips the model entirely, a computed
+// cell is appended for every future process (advisord restarts, campaign
+// runs, other replicas sharing the directory). /v1/predict keeps the
+// exact path: its body carries the phase-split timings (compute_s,
+// exposed_comm_s) that are not part of the stored cell schema.
+//
+// Because stored measurements round-trip bit-exactly (see
+// internal/core/store.go) and bodies are rendered by the same response
+// builders as the compute path, a store-served body is byte-identical to
+// a computed one — invariant 1 of the serving pipeline extends across
+// process restarts.
+
+// countStoreCells records cell resolutions on the
+// server_store_cells_total counter pair.
+func (s *Server) countStoreCells(computed, hits int) {
+	if s.storeComputed == nil {
+		return
+	}
+	if computed > 0 {
+		s.storeComputed.Add(float64(computed))
+	}
+	if hits > 0 {
+		s.storeHits.Add(float64(hits))
+	}
+}
+
+// storeRecommend is evalRecommend through the store: both solver cells
+// memoized, verdict via core.Rank.
+func (s *Server) storeRecommend(req RecommendRequest) (RecommendResponse, error) {
+	rec, computed, err := core.RecommendStored(req.N, req.Ranks, req.Placement, req.Objective, req.params(), s.cfg.Store)
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	s.countStoreCells(computed, 2-computed)
+	return recommendResponse(req, rec), nil
+}
+
+// storeSweep is evalSweep through the store: every cell memoized, so a
+// sweep both benefits from and feeds prior campaign/serving work.
+func (s *Server) storeSweep(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResponse, error) {
+	prm := req.params()
+	cells, err := grid.Map(r, len(req.Cells), func(i int) (CellResult, error) {
+		if err := ctx.Err(); err != nil {
+			return CellResult{}, err
+		}
+		c := req.Cells[i]
+		m, computed, err := core.RunAnalyticStored(core.Experiment{
+			Algorithm: c.Algorithm, N: c.N, Ranks: c.Ranks, Placement: c.Placement,
+		}, prm, s.cfg.Store)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %s/%d/%d/%s: %w", c.Algorithm, c.N, c.Ranks, c.Placement, err)
+		}
+		if computed {
+			s.countStoreCells(1, 0)
+		} else {
+			s.countStoreCells(0, 1)
+		}
+		return cellResult(m), nil
+	})
+	if err != nil {
+		return SweepResponse{}, err
+	}
+	return sweepResponse(req, cells), nil
+}
+
+// paperSweepRequest is the canonicalized {"grid":"paper"} sweep —
+// exactly what ParseSweepRequest produces for the default paper-grid
+// POST, so the warmed body keys the same cache entry.
+func paperSweepRequest() SweepRequest {
+	req := SweepRequest{
+		Overlap:   true,
+		BlockSize: perfmodel.Params{}.Normalized().BlockSize,
+	}
+	for _, k := range core.SweepKeys() {
+		req.Cells = append(req.Cells, SweepCell{Algorithm: k.Algorithm, N: k.N, Ranks: k.Ranks, Placement: k.Placement})
+	}
+	return req
+}
+
+// WarmFromStore pre-renders response bodies for every default-parameter
+// request shape the store can answer completely, so a restarted advisord
+// serves its first paper-grid requests as cache hits. It warms the
+// {"grid":"paper"} sweep body (only when all 72 cells are stored) and
+// the default-objective recommend body for each stored shape with both
+// solvers present. Bodies go through the same builders as the compute
+// path, so a warmed hit is byte-identical to a cold computation. Returns
+// the number of bodies cached.
+func (s *Server) WarmFromStore() int {
+	st := s.cfg.Store
+	if st == nil {
+		return 0
+	}
+	req := paperSweepRequest()
+	prm := req.params()
+	type shape struct {
+		n, ranks  int
+		placement cluster.Placement
+	}
+	byShape := make(map[shape]map[perfmodel.Algorithm]core.Measurement)
+	cells := make([]CellResult, 0, len(req.Cells))
+	complete := true
+	for _, c := range req.Cells {
+		e := core.Experiment{Algorithm: c.Algorithm, N: c.N, Ranks: c.Ranks, Placement: c.Placement}
+		m, ok, err := core.LookupAnalyticCell(st, e, prm)
+		if err != nil || !ok {
+			complete = false
+			continue
+		}
+		sh := shape{c.N, c.Ranks, c.Placement}
+		if byShape[sh] == nil {
+			byShape[sh] = make(map[perfmodel.Algorithm]core.Measurement, 2)
+		}
+		byShape[sh][c.Algorithm] = m
+		cells = append(cells, cellResult(m))
+	}
+	warmed := 0
+	if complete {
+		if body, err := marshalBody(sweepResponse(req, cells)); err == nil {
+			s.cache.Put(req.cacheKey(), body)
+			warmed++
+		}
+	}
+	for sh, ms := range byShape {
+		imeM, okI := ms[perfmodel.IMe]
+		geM, okG := ms[perfmodel.ScaLAPACK]
+		if !okI || !okG {
+			continue
+		}
+		rec, err := core.Rank(imeM, geM, core.MinEnergy)
+		if err != nil {
+			continue
+		}
+		rreq := RecommendRequest{
+			N: sh.n, Ranks: sh.ranks, Placement: sh.placement,
+			Objective: core.MinEnergy, Overlap: req.Overlap, BlockSize: req.BlockSize,
+		}
+		body, err := marshalBody(recommendResponse(rreq, rec))
+		if err != nil {
+			continue
+		}
+		s.cache.Put(rreq.cacheKey(), body)
+		warmed++
+	}
+	return warmed
+}
