@@ -24,6 +24,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/rapl"
 	"repro/internal/scalapack"
+	"repro/internal/slurm"
 )
 
 func newSweep(b *testing.B) *core.Sweep {
@@ -575,6 +576,39 @@ func BenchmarkSolveIMeParallelWall(b *testing.B) {
 			_, err := ime.SolveParallel(p, p.World(), sys, ime.ParallelOptions{})
 			return err
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlurmSubmitRelease measures the fleet allocator at scale: one
+// submit + release of a 12-node job on a 4096-node machine that is kept
+// half busy (the fleet simulator's steady state). The bitmap free-set
+// makes each op O(nodes granted); the map+sort structure it replaced
+// rebuilt and sorted the ~2048-entry free list on every submit.
+func BenchmarkSlurmSubmitRelease(b *testing.B) {
+	machine := &cluster.MachineSpec{
+		Name: "fleet-4096", TotalNodes: 4096, SocketsPerNode: 2,
+		CoresPerSocket: 24, MemPerNodeGB: 192, ClockGHz: 2.1,
+	}
+	s, err := slurm.NewScheduler(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := slurm.JobSpec{Ranks: 576, Placement: cluster.FullLoad} // 12 nodes
+	for s.FreeNodes() > machine.TotalNodes/2 {
+		if _, err := s.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Release(a.JobID); err != nil {
 			b.Fatal(err)
 		}
 	}

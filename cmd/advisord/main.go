@@ -6,6 +6,7 @@
 //	GET  /v1/recommend     solver recommendation for a job shape
 //	GET  /v1/predict       modelled energy/time/power for one solver
 //	POST /v1/sweep         batched grid cells on the worker pool
+//	POST /v1/schedule      fleet batch-scheduling simulation (internal/sched)
 //	GET  /metrics          Prometheus exposition (with trace exemplars)
 //	GET  /healthz          liveness/readiness (503 while draining)
 //	GET  /version          build identity (also server_build_info)

@@ -13,10 +13,10 @@ var latencyBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 
 // computeEndpoints are the endpoints that run model evaluations and
 // therefore carry cache/coalescer/compute series; /metrics and /healthz
 // only get latency and request counts.
-var computeEndpoints = []string{"recommend", "predict", "sweep"}
+var computeEndpoints = []string{"recommend", "predict", "sweep", "schedule"}
 
 // allEndpoints lists every instrumented route.
-var allEndpoints = []string{"recommend", "predict", "sweep", "metrics", "healthz"}
+var allEndpoints = []string{"recommend", "predict", "sweep", "schedule", "metrics", "healthz"}
 
 // metrics holds the server's pre-registered instruments. Per-(endpoint,
 // code) request counters are registered lazily because the code label is

@@ -228,8 +228,8 @@ func TestDebugSLOConsistentWithTraffic(t *testing.T) {
 	if err := json.Unmarshal(body, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Objectives) != 3 {
-		t.Fatalf("objectives = %d, want 3 (recommend, predict, sweep)", len(rep.Objectives))
+	if len(rep.Objectives) != 4 {
+		t.Fatalf("objectives = %d, want 4 (recommend, predict, sweep, schedule)", len(rep.Objectives))
 	}
 	for _, o := range rep.Objectives {
 		switch o.Name {
@@ -240,7 +240,7 @@ func TestDebugSLOConsistentWithTraffic(t *testing.T) {
 			if len(o.Windows) == 0 {
 				t.Fatal("predict SLO has no windows")
 			}
-		case "recommend", "sweep":
+		case "recommend", "sweep", "schedule":
 			if o.Requests != 0 {
 				t.Fatalf("%s saw traffic: %+v", o.Name, o)
 			}

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/surrogate"
 	"repro/internal/telemetry"
@@ -120,6 +121,7 @@ func DefaultSLOs() []telemetry.SLO {
 		{Name: "recommend", LatencyBoundS: 0.005, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
 		{Name: "predict", LatencyBoundS: 0.005, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
 		{Name: "sweep", LatencyBoundS: 1.0, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
+		{Name: "schedule", LatencyBoundS: 1.0, LatencyTarget: 0.99, AvailabilityTarget: 0.999},
 	}
 }
 
@@ -177,6 +179,7 @@ type Server struct {
 	evalRecommend func(RecommendRequest) (RecommendResponse, error)
 	evalPredict   func(PredictRequest) (PredictResponse, error)
 	evalSweep     func(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResponse, error)
+	evalSchedule  func(ctx context.Context, req ScheduleRequest) (*sched.Report, error)
 }
 
 // New returns a Server computing with the real calibrated model.
@@ -206,6 +209,7 @@ func New(cfg Config) *Server {
 	s.evalRecommend = evalRecommend
 	s.evalPredict = evalPredict
 	s.evalSweep = evalSweep
+	s.evalSchedule = s.evalScheduleReal
 	if cfg.Store != nil {
 		const help = "Grid cells resolved through the experiment store, by outcome."
 		s.storeHits = cfg.Registry.Counter("server_store_cells_total", help, "result", "hit")
@@ -251,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/recommend", s.instrument("recommend", s.handleRecommend))
 	mux.Handle("GET /v1/predict", s.instrument("predict", s.handlePredict))
 	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.Handle("POST /v1/schedule", s.instrument("schedule", s.handleSchedule))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	// The inspection plane is served outside instrument(): debugging

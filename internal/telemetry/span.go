@@ -284,6 +284,22 @@ func (t *Trace) WriteChromeTrace(out io.Writer) error {
 			)
 		}
 	}
+	// Sort tracks by name in the viewer regardless of first-span order
+	// (fleet timelines name tracks node-0000, node-0001, ... — without
+	// this they render in scheduling order, not node order).
+	if len(trackTid) > 0 {
+		names := make([]string, 0, len(trackTid))
+		for name := range trackTid {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			events = append(events,
+				traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pidModel, Tid: trackTid[name],
+					Args: map[string]any{"sort_index": i}},
+			)
+		}
+	}
 	if len(trackTid) > 0 {
 		events = append(events,
 			traceEvent{Name: "process_name", Ph: "M", Pid: pidModel,

@@ -180,6 +180,66 @@ func TestWriteChromeTraceEnvelope(t *testing.T) {
 	}
 }
 
+// TestChromeTraceThreadSortIndex: virtual tracks carry a sort index in
+// track-name order, not first-span order, so fleet timelines render
+// node-0000, node-0001, ... top to bottom.
+func TestChromeTraceThreadSortIndex(t *testing.T) {
+	tr := NewTrace("deadbeefdeadbeefdeadbeefdeadbeef")
+	// First spans land on the tracks out of name order.
+	tr.AddVirtualSpan("node-0002", "a", 0, 0, 1)
+	tr.AddVirtualSpan("node-0000", "b", 0, 0, 1)
+	tr.AddVirtualSpan("node-0001", "c", 0, 0, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tidName := map[int]string{}
+	tidSort := map[int]float64{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" || e.Pid != pidModel {
+			continue
+		}
+		switch e.Name {
+		case "thread_name":
+			tidName[e.Tid] = e.Args["name"].(string)
+		case "thread_sort_index":
+			tidSort[e.Tid] = e.Args["sort_index"].(float64)
+		}
+	}
+	if len(tidName) != 3 || len(tidSort) != 3 {
+		t.Fatalf("metadata: names=%v sorts=%v", tidName, tidSort)
+	}
+	for tid, name := range tidName {
+		var want float64
+		switch name {
+		case "node-0000":
+			want = 0
+		case "node-0001":
+			want = 1
+		case "node-0002":
+			want = 2
+		default:
+			t.Fatalf("unexpected track %q", name)
+		}
+		if tidSort[tid] != want {
+			t.Fatalf("track %q sort_index = %g, want %g", name, tidSort[tid], want)
+		}
+	}
+}
+
 func TestNilTraceInert(t *testing.T) {
 	var tr *Trace
 	sp := tr.StartSpan("x", nil)
