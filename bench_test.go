@@ -25,6 +25,7 @@ import (
 	"repro/internal/rapl"
 	"repro/internal/scalapack"
 	"repro/internal/slurm"
+	"repro/internal/sparse"
 )
 
 func newSweep(b *testing.B) *core.Sweep {
@@ -611,5 +612,98 @@ func BenchmarkSlurmSubmitRelease(b *testing.B) {
 		if err := s.Release(a.JobID); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Sparse iterative solvers (CSR SpMV + CG/BiCGSTAB) ---
+//
+// Wall-clock view of the sparse subsystem: the CSR SpMV kernel that
+// dominates every iteration, the full distributed CG/BiCGSTAB world over
+// simulated MPI, and the analytic device-model cell the campaign and the
+// advisor evaluate per request. BENCH_sparse.json records the baseline.
+
+func benchmarkSparseSpMV(b *testing.B, spec sparse.Spec) {
+	a, err := spec.Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := spec.RHS()
+	dst := make([]float64, spec.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecInto(dst, x)
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(2*float64(a.NNZ())*float64(b.N)/sec/1e9, "gflops")
+	// Streamed bytes per multiply: 8 B value + 8 B column index per
+	// stored entry, plus the gathered x element.
+	b.ReportMetric(24*float64(a.NNZ())*float64(b.N)/sec/1e9, "GB/s")
+}
+
+func BenchmarkSparseSpMV(b *testing.B) {
+	for _, spec := range []sparse.Spec{
+		{Kind: sparse.Banded, N: 16384, Band: 256, Cond: 1e4, Seed: core.SparseSweepSeed},
+		{Kind: sparse.Banded, N: 131072, Band: 256, Cond: 1e4, Seed: core.SparseSweepSeed},
+		{Kind: sparse.Random, N: 8192, Density: 1e-3, Cond: 1e4, Seed: core.SparseSweepSeed},
+	} {
+		spec := spec
+		b.Run(spec.Label(), func(b *testing.B) {
+			if testing.Short() && spec.N > 16384 {
+				b.Skip("skipping large SpMV fixture under -short")
+			}
+			benchmarkSparseSpMV(b, spec)
+		})
+	}
+}
+
+// BenchmarkSparseSolveWorld runs a full distributed solve — matrix
+// generation sharded per rank, halo-exchange plan, SpMV + dot + AXPY
+// iterations to convergence — through the simulated-MPI runtime.
+func BenchmarkSparseSolveWorld(b *testing.B) {
+	spec := sparse.Spec{Kind: sparse.Banded, N: 4096, Band: 64, Cond: 1e2, Seed: core.SparseSweepSeed}
+	for _, alg := range sparse.Algorithms() {
+		alg := alg
+		b.Run(alg.String()+"/ranks=8", func(b *testing.B) {
+			var iters int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := mpi.NewWorld(8, mpi.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Run(func(p *mpi.Proc) error {
+					sol, err := sparse.Solve(p, alg, spec, sparse.Options{ChargeCosts: true})
+					if p.Rank() == 0 {
+						iters = sol.Iters
+					}
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
+	}
+}
+
+// BenchmarkSparseAnalyticCell is the advisor-serving view: one analytic
+// device-model evaluation at the largest sweep recipe, per device.
+func BenchmarkSparseAnalyticCell(b *testing.B) {
+	cfg, err := cluster.NewConfig(core.SparseSweepRanks, cluster.FullLoad, cluster.MarconiA3Accel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sparse.Spec{Kind: sparse.Banded, N: 1048576, Band: 256, Cond: 1e4, Seed: core.SparseSweepSeed}
+	for _, dev := range []cluster.Device{cluster.DeviceCPU, cluster.DeviceAccel} {
+		dev := dev
+		b.Run(dev.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.Model(sparse.CG, spec, cfg, dev, perfmodel.Params{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

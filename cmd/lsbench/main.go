@@ -29,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -39,7 +41,7 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "artifact: table1, 3, 4, 5, 6, 7, sockets, messages, ablation, blocksize, slurm, repetitions, breakdown, all")
+	figure := flag.String("figure", "all", "artifact: table1, 3, 4, 5, 6, 7, sockets, messages, ablation, blocksize, slurm, repetitions, breakdown, sparse, all")
 	format := flag.String("format", "table", "output format: table, csv or markdown")
 	noOverlap := flag.Bool("no-overlap", false, "disable communication/computation overlap in the model")
 	capW := flag.Float64("cap", 0, "RAPL package power cap in watts (0 = uncapped)")
@@ -199,11 +201,23 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 
 	needSweep := figure != "table1" && figure != "messages" &&
 		figure != "ablation" && figure != "blocksize" && figure != "slurm" &&
-		figure != "repetitions" && figure != "breakdown"
+		figure != "repetitions" && figure != "breakdown" && figure != "sparse"
 	var sweep *core.Sweep
 	if needSweep {
 		var err error
 		sweep, _, err = core.NewSweepStored(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb}, runner, st)
+		if err != nil {
+			return err
+		}
+	}
+	// The sparse sweep is built here, next to the dense one, rather than
+	// inside its artifact closure: closures run under the artifact-level
+	// grid.Map, and a nested Map on the same runner deadlocks at -j 1
+	// (the outer cell holds the only slot the inner acquire waits for).
+	var sparseSweep *core.SparseSweep
+	if (figure == "sparse" || figure == "all") && capW == 0 {
+		var err error
+		sparseSweep, _, err = core.NewSparseSweepStored(perfmodel.Params{}, runner, st)
 		if err != nil {
 			return err
 		}
@@ -237,6 +251,16 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 		"breakdown": func() (*report.Table, error) {
 			return core.DurationBreakdown(perfmodel.Params{Overlap: overlap, PowerCapW: capW, BlockSize: nb})
 		},
+		"sparse": func() (*report.Table, error) {
+			// The sparse model has no cap semantics (memory-bound kernels
+			// never hit PL1); every sparse consumer — this artifact, the
+			// campaign stage, advisord — models with default params so the
+			// cells share one store identity.
+			if capW > 0 {
+				return nil, fmt.Errorf("the sparse artifact does not support -cap (sparse kernels are not cap-modelled)")
+			}
+			return sparseSweep.SparseFigure()
+		},
 		"repetitions": func() (*report.Table, error) {
 			var cells []core.SweepKey
 			for _, alg := range perfmodel.Algorithms() {
@@ -263,6 +287,11 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 
 	if figure == "all" {
 		names := []string{"table1", "3", "4", "5", "6", "7", "sockets", "messages", "ablation", "blocksize", "slurm", "repetitions", "breakdown"}
+		if capW == 0 {
+			// The sparse artifact has no cap semantics; capped "all" runs
+			// keep the dense-only artifact set.
+			names = append(names, "sparse")
+		}
 		if faults.enabled {
 			names = append(names, "resilience")
 		}
@@ -284,7 +313,15 @@ func run(w io.Writer, figure, format string, overlap bool, capW float64, nb int,
 	}
 	build, ok := artifacts[figure]
 	if !ok {
-		return fmt.Errorf("unknown artifact %q (want table1, 3-7, sockets, messages, all)", figure)
+		// Enumerate the real artifact set so the error never goes stale as
+		// figures are added.
+		names := make([]string, 0, len(artifacts)+1)
+		for name := range artifacts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		names = append(names, "all")
+		return fmt.Errorf("unknown artifact %q (want one of: %s)", figure, strings.Join(names, ", "))
 	}
 	t, err := build()
 	if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/store"
@@ -62,5 +63,62 @@ func TestStoreAndParallelismPreserveOutput(t *testing.T) {
 	}
 	if st2.Appended() != 0 {
 		t.Errorf("reopened store appended %d records, want 0 (everything was stored)", st2.Appended())
+	}
+}
+
+// TestSparseFigureDeterministic pins the sparse artifact alone: bytes
+// identical across worker counts and store states (the injector-off
+// sparse golden contract).
+func TestSparseFigureDeterministic(t *testing.T) {
+	render := func(workers int, st *store.Store) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run(&buf, "sparse", "table", true, 0, 0, "", workers, faultsConfig{}, st); err != nil {
+			t.Fatalf("run(sparse, j=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	baseline := render(1, nil)
+	if !strings.Contains(string(baseline), "accel") || !strings.Contains(string(baseline), "cpu") {
+		t.Fatal("sparse figure shows only one device verdict")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, tc := range []struct {
+		name    string
+		workers int
+		st      *store.Store
+	}{
+		{"parallel storeless", 8, nil},
+		{"cold store parallel", 8, st},
+		{"warm store serial", 1, st},
+	} {
+		if got := render(tc.workers, tc.st); !bytes.Equal(got, baseline) {
+			t.Errorf("%s: sparse figure differs from serial storeless baseline", tc.name)
+		}
+	}
+}
+
+// TestErrorSurfaces pins the CLI's error contract: an unknown artifact
+// name enumerates the valid set, and sparse rejects -cap loudly.
+func TestErrorSurfaces(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "figure8", "table", true, 0, 0, "", 1, faultsConfig{}, nil)
+	if err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+	for _, name := range []string{"table1", "sparse", "repetitions", "all"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-artifact error %q does not list %q", err, name)
+		}
+	}
+	if err := run(&buf, "sparse", "table", true, 110, 0, "", 1, faultsConfig{}, nil); err == nil {
+		t.Fatal("sparse artifact accepted -cap")
+	}
+	if err := run(&buf, "resilience", "table", true, 0, 0, "", 1, faultsConfig{}, nil); err == nil {
+		t.Fatal("resilience artifact built without -faults")
 	}
 }

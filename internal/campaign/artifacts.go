@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
 	"repro/internal/store"
@@ -135,7 +136,23 @@ func Artifacts(st *store.Store) ([]struct {
 	} else {
 		out = append(out, artifact{"resilience", t})
 	}
+	sp, err := sparseTable(st)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, artifact{"sparse", sp})
 	return out, nil
+}
+
+// sparseTable renders the sparse CPU-vs-accelerator grid from the store,
+// strictly: a cell the campaign has not computed yet is an error.
+func sparseTable(st *store.Store) (*report.Table, error) {
+	sw, computed, err := core.NewSparseSweepStored(sparseParams(), grid.New(1), st)
+	if err != nil {
+		return nil, err
+	}
+	t, err := sw.SparseFigure()
+	return strictTable("sparse", t, computed, err)
 }
 
 // EmitArtifacts writes every artifact as a provenance-headed text file
@@ -180,6 +197,7 @@ type experimentsData struct {
 	Provenance      string
 	ResilienceTable string
 	Figure5Markdown string
+	SparseTable     string
 }
 
 // renderExperiments produces the regenerated EXPERIMENTS.md bytes from
@@ -204,10 +222,19 @@ func renderExperiments(st *store.Store) ([]byte, error) {
 	if err := paper.Figure5().Markdown(&fig5); err != nil {
 		return nil, err
 	}
+	sp, err := sparseTable(st)
+	if err != nil {
+		return nil, err
+	}
+	var sparseMd bytes.Buffer
+	if err := sp.Markdown(&sparseMd); err != nil {
+		return nil, err
+	}
 	data := experimentsData{
 		Provenance:      fmt.Sprintf("experiment store digest `%s` (%d records)", st.Digest(), st.Len()),
 		ResilienceTable: trimTrailingNewline(resTable.String()),
 		Figure5Markdown: trimTrailingNewline(fig5.String()),
+		SparseTable:     trimTrailingNewline(sparseMd.String()),
 	}
 	var out bytes.Buffer
 	if err := experimentsTmpl.Execute(&out, data); err != nil {

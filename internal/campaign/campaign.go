@@ -215,13 +215,46 @@ func resilienceStage(seed int64) Stage {
 	}
 }
 
+// sparseParams are the sparse grid's model parameters: strictly the
+// defaults. The sparse model has no overlap, block-size or power-cap
+// semantics, and every consumer — this stage, `lsbench -figure sparse`,
+// advisord's matrix=sparse path — models at defaults so the cells share
+// one store identity.
+func sparseParams() perfmodel.Params { return perfmodel.Params{} }
+
+// sparseStage declares the 72-cell sparse CPU-vs-accelerator grid
+// (2 algorithms × 2 devices × 18 matrix recipes at 144 ranks full load).
+func sparseStage() Stage {
+	keys := core.SparseSweepKeys()
+	prm := sparseParams()
+	return Stage{
+		Name:  "sparse-grid",
+		Cells: len(keys),
+		run: func(rc *Context) error {
+			_, err := grid.Map(rc.runner, len(keys), func(i int) (struct{}, error) {
+				k := keys[i]
+				e := core.SparseExperiment{
+					Algorithm: k.Algorithm, Kind: k.Spec.Kind, N: k.Spec.N,
+					Ranks: core.SparseSweepRanks, Placement: cluster.FullLoad, Device: k.Device,
+					Band: k.Spec.Band, Density: k.Spec.Density, Cond: k.Spec.Cond, Seed: k.Spec.Seed,
+				}
+				_, err := rc.SparseAnalytic(e, prm)
+				return struct{}{}, err
+			})
+			return err
+		},
+	}
+}
+
 // Paper returns the full paper campaign: the evaluation grid and its
 // ablations, the §6 power-cap sweep, the §5.1 repetition study, the
-// exact-engine references, and the fault-tolerance sweep.
+// exact-engine references, the fault-tolerance sweep, and the sparse
+// device grid. The sparse stage comes last so budget-interrupted runs
+// stop inside the same dense stages they always did.
 func Paper() Campaign {
 	return Campaign{
 		Name:        "paper",
-		Description: "full paper evaluation: grid, overlap ablation, power caps, repetitions, monitored references, resilience",
+		Description: "full paper evaluation: grid, overlap ablation, power caps, repetitions, monitored references, resilience, sparse device grid",
 		Stages: []Stage{
 			gridStage("paper-grid", paperGridParams()),
 			gridStage("overlap-ablation", perfmodel.Params{}),
@@ -230,6 +263,7 @@ func Paper() Campaign {
 			repetitionsStage(),
 			monitoredStage(),
 			resilienceStage(ResilienceSeed),
+			sparseStage(),
 		},
 	}
 }

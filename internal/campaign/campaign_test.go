@@ -251,6 +251,9 @@ func TestPaperCampaignColdWarmAndArtifacts(t *testing.T) {
 	if !bytes.Contains(exp, []byte("| MTBF (s) |")) {
 		t.Error("regenerated EXPERIMENTS.md is missing the resilience table")
 	}
+	if !bytes.Contains(exp, []byte("accel J")) {
+		t.Error("regenerated EXPERIMENTS.md is missing the sparse CPU-vs-accelerator table")
+	}
 }
 
 // TestEmissionIsStrict pins that artifact emission never computes: an

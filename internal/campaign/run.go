@@ -110,6 +110,22 @@ func (rc *Context) Analytic(e core.Experiment, prm perfmodel.Params) (core.Measu
 	return m, err
 }
 
+// SparseAnalytic evaluates one sparse analytic cell through the store:
+// hit → free, miss → budget-gated compute + append.
+func (rc *Context) SparseAnalytic(e core.SparseExperiment, prm perfmodel.Params) (core.SparseMeasurement, error) {
+	if m, ok, err := core.LookupSparseAnalyticCell(rc.st, e, prm); err != nil {
+		return core.SparseMeasurement{}, err
+	} else if ok {
+		rc.addHits(1)
+		return m, nil
+	}
+	if err := rc.spend(1); err != nil {
+		return core.SparseMeasurement{}, err
+	}
+	m, _, err := core.RunSparseAnalyticStored(e, prm, rc.st)
+	return m, err
+}
+
 // Monitored evaluates one exact-engine cell through the store.
 func (rc *Context) Monitored(e core.Experiment) (core.Measurement, error) {
 	if m, ok, err := core.LookupMonitoredCell(rc.st, e); err != nil {

@@ -27,6 +27,9 @@ type MachineSpec struct {
 	// documentation and sanity checks; effective rates live in the power
 	// and performance models).
 	PeakNodeGFlops float64
+	// Accel, when non-nil, equips every node with accelerators (see
+	// accel.go). The dense solvers and the paper grid ignore it.
+	Accel *AcceleratorSpec
 }
 
 // CoresPerNode returns the total core count of one node.

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/mat"
+	"repro/internal/monitor"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+	"repro/internal/sparse"
+	"repro/internal/store"
+)
+
+// Sparse workloads through the same experiment machinery as the dense
+// grid: a SparseExperiment resolves to a cluster Config (heterogeneous
+// when the device is an accelerator), runs through an analytic or a
+// monitored engine, and persists under a typed store identity so the
+// store-threaded runners (campaign, lsbench, advisord) work unchanged.
+
+// SparseExperiment is one job specification of the sparse evaluation
+// grid. Band applies to banded matrices, Density to random ones; the
+// unused axis stays zero and is omitted from the store identity.
+type SparseExperiment struct {
+	Algorithm sparse.Algorithm
+	Kind      sparse.Kind
+	N         int
+	Ranks     int
+	Placement cluster.Placement
+	// Device selects where the memory-bound kernels run.
+	Device  cluster.Device
+	Band    int
+	Density float64
+	Cond    float64
+	Seed    int64
+}
+
+// Spec returns the matrix recipe of the experiment.
+func (e SparseExperiment) Spec() sparse.Spec {
+	return sparse.Spec{Kind: e.Kind, N: e.N, Band: e.Band, Density: e.Density, Cond: e.Cond, Seed: e.Seed}
+}
+
+// resolveSparseConfig validates the experiment against the machine that
+// matches its device: accelerated runs need the heterogeneous variant.
+func (e SparseExperiment) resolveSparseConfig() (cluster.Config, error) {
+	if e.N <= 0 {
+		return cluster.Config{}, fmt.Errorf("core: order %d must be positive", e.N)
+	}
+	spec := cluster.MarconiA3()
+	if e.Device == cluster.DeviceAccel {
+		spec = cluster.MarconiA3Accel()
+	}
+	return cluster.NewConfig(e.Ranks, e.Placement, spec)
+}
+
+// SparseMeasurement is the outcome of one sparse experiment.
+type SparseMeasurement struct {
+	Experiment SparseExperiment
+	Config     cluster.Config
+	DurationS  float64
+	TotalJ     float64
+	EnergyJ    map[rapl.Domain]float64
+	// Iters is the solver iteration count (modelled or executed).
+	Iters int
+	// Residual is the true relative residual of the computed solution
+	// (monitored engine only; 0 for analytic runs).
+	Residual float64
+	Engine   string
+}
+
+// AvgPowerW is the measurement's average power.
+func (m SparseMeasurement) AvgPowerW() float64 {
+	if m.DurationS <= 0 {
+		return 0
+	}
+	return m.TotalJ / m.DurationS
+}
+
+// AlgorithmFlops returns the arithmetic work of the measured solve.
+func (m SparseMeasurement) AlgorithmFlops() float64 {
+	return sparse.WorkFlops(m.Experiment.Algorithm, m.Experiment.Spec(), m.Iters)
+}
+
+// GFlopsPerWatt is the Green500 efficiency metric over the iterative
+// solve's actual work.
+func (m SparseMeasurement) GFlopsPerWatt() float64 {
+	if m.TotalJ <= 0 {
+		return 0
+	}
+	return m.AlgorithmFlops() / m.TotalJ / 1e9
+}
+
+// RunSparseAnalytic models the sparse experiment at paper scale on its
+// device.
+func RunSparseAnalytic(e SparseExperiment, prm perfmodel.Params) (SparseMeasurement, error) {
+	cfg, err := e.resolveSparseConfig()
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	res, err := sparse.Model(e.Algorithm, e.Spec(), cfg, e.Device, prm)
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	return SparseMeasurement{
+		Experiment: e,
+		Config:     cfg,
+		DurationS:  res.DurationS,
+		TotalJ:     res.TotalJ,
+		EnergyJ:    res.EnergyJ,
+		Iters:      res.Iters,
+		Engine:     "sparse-analytic",
+	}, nil
+}
+
+// RunSparseMonitored executes the distributed iterative solver on the
+// simulated cluster under the §4 monitoring framework — real numerics,
+// counters read through PAPI/RAPL. CPU-only: accelerated kernels exist
+// only in the analytic engine, so a Device of accel is rejected rather
+// than silently modelled.
+func RunSparseMonitored(e SparseExperiment) (SparseMeasurement, error) {
+	if e.Device != cluster.DeviceCPU {
+		return SparseMeasurement{}, fmt.Errorf("core: monitored sparse runs are CPU-only (device %s is analytic-only)", e.Device)
+	}
+	cfg, err := e.resolveSparseConfig()
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	if e.Ranks > e.N {
+		return SparseMeasurement{}, fmt.Errorf("core: %d ranks exceed order %d", e.Ranks, e.N)
+	}
+	spec := e.Spec()
+	if err := spec.Validate(); err != nil {
+		return SparseMeasurement{}, err
+	}
+	w, err := mpi.NewWorld(e.Ranks, mpi.Options{Config: &cfg})
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	var mu sync.Mutex
+	var reports []monitor.NodeReport
+	var iters int
+	var residual float64
+	err = w.Run(func(p *mpi.Proc) error {
+		s, err := monitor.Setup(p, p.World())
+		if err != nil {
+			return err
+		}
+		if err := s.StartMonitoring(); err != nil {
+			return err
+		}
+		sol, err := sparse.Solve(p, e.Algorithm, spec, sparse.Options{ChargeCosts: true})
+		if err != nil {
+			return err
+		}
+		rep, err := s.StopMonitoring()
+		if err != nil {
+			return err
+		}
+		all, err := monitor.CollectReports(p, p.World(), rep)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			a, err := spec.Matrix()
+			if err != nil {
+				return err
+			}
+			b := spec.RHS()
+			r := a.MulVec(sol.X)
+			for i := range r {
+				r[i] -= b[i]
+			}
+			mu.Lock()
+			reports = all
+			iters = sol.Iters
+			residual = mat.TwoNorm(r) / mat.TwoNorm(b)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	sum := monitor.Summarize(reports)
+	m := SparseMeasurement{
+		Experiment: e,
+		Config:     cfg,
+		DurationS:  sum.DurationS,
+		TotalJ:     sum.TotalJ,
+		EnergyJ:    make(map[rapl.Domain]float64, 4),
+		Iters:      iters,
+		Residual:   residual,
+		Engine:     "sparse-monitored",
+	}
+	for _, d := range rapl.Domains() {
+		m.EnergyJ[d] = sum.ByEvent["powercap:::"+d.String()]
+	}
+	return m, nil
+}
+
+// SparseCellKind records one sparse-grid SparseMeasurement.
+const SparseCellKind = "sparse-cell"
+
+// SparseMonitoredEngineVersion stamps the executable sparse engine: the
+// solver numerics, the halo plan, the kernel charging constants and the
+// monitoring framework's accounting.
+const SparseMonitoredEngineVersion = "sparse-simulated-mpi/v1"
+
+// SparseCellIdentity is the canonical store identity of one sparse cell:
+// the sparse coordinates (matrix kind, structure axis, condition target,
+// device) plus per-engine version stamps. The analytic engine ignores
+// the input seed (its iteration model depends only on the condition
+// target), so Seed keys monitored cells only.
+type SparseCellIdentity struct {
+	Schema    int    `json:"schema"`
+	Kind      string `json:"kind"`
+	Engine    string `json:"engine"`
+	Algorithm string `json:"algorithm"`
+	Matrix    string `json:"matrix"`
+	N         int    `json:"n"`
+	Ranks     int    `json:"ranks"`
+	Placement string `json:"placement"`
+	Device    string `json:"device"`
+	Band      int    `json:"band,omitempty"`
+	Density   float64 `json:"density,omitempty"`
+	Cond      float64 `json:"cond"`
+	Seed      int64   `json:"seed,omitempty"`
+	// EngineVersion stamps the engine semantics (sparse.ModelVersion for
+	// analytic cells, SparseMonitoredEngineVersion for monitored ones).
+	EngineVersion string `json:"engine_version"`
+	// Model is the versioned cost/calibration identity (analytic only).
+	Model *perfmodel.CanonicalIdentity `json:"model,omitempty"`
+	// Accel pins the accelerator profile the cell was modelled against
+	// (accelerated cells only) — a different device profile is a
+	// different experiment.
+	Accel *cluster.AcceleratorSpec `json:"accel,omitempty"`
+}
+
+// SparseAnalyticCellIdentity returns the store identity of
+// RunSparseAnalytic(e, prm).
+func SparseAnalyticCellIdentity(e SparseExperiment, prm perfmodel.Params) SparseCellIdentity {
+	model := prm.CanonicalIdentity()
+	id := SparseCellIdentity{
+		Schema:        store.SchemaVersion,
+		Kind:          SparseCellKind,
+		Engine:        "sparse-analytic",
+		Algorithm:     e.Algorithm.String(),
+		Matrix:        e.Kind.String(),
+		N:             e.N,
+		Ranks:         e.Ranks,
+		Placement:     e.Placement.String(),
+		Device:        e.Device.String(),
+		Band:          e.Band,
+		Density:       e.Density,
+		Cond:          e.Cond,
+		EngineVersion: sparse.ModelVersion,
+		Model:         &model,
+	}
+	if e.Device == cluster.DeviceAccel {
+		id.Accel = cluster.MarconiA3Accel().Accel
+	}
+	return id
+}
+
+// SparseMonitoredCellIdentity returns the store identity of
+// RunSparseMonitored(e).
+func SparseMonitoredCellIdentity(e SparseExperiment) SparseCellIdentity {
+	return SparseCellIdentity{
+		Schema:        store.SchemaVersion,
+		Kind:          SparseCellKind,
+		Engine:        "sparse-monitored",
+		Algorithm:     e.Algorithm.String(),
+		Matrix:        e.Kind.String(),
+		N:             e.N,
+		Ranks:         e.Ranks,
+		Placement:     e.Placement.String(),
+		Device:        e.Device.String(),
+		Band:          e.Band,
+		Density:       e.Density,
+		Cond:          e.Cond,
+		Seed:          e.Seed,
+		EngineVersion: SparseMonitoredEngineVersion,
+	}
+}
+
+// SparseCellResult is the persisted payload of one SparseMeasurement.
+type SparseCellResult struct {
+	DurationS float64            `json:"duration_s"`
+	EnergyJ   map[string]float64 `json:"energy_j"`
+	TotalJ    float64            `json:"total_j"`
+	Iters     int                `json:"iters"`
+	Residual  float64            `json:"residual,omitempty"`
+	Engine    string             `json:"engine"`
+}
+
+func sparseCellResultOf(m SparseMeasurement) SparseCellResult {
+	res := SparseCellResult{
+		DurationS: m.DurationS,
+		EnergyJ:   make(map[string]float64, len(m.EnergyJ)),
+		TotalJ:    m.TotalJ,
+		Iters:     m.Iters,
+		Residual:  m.Residual,
+		Engine:    m.Engine,
+	}
+	for d, j := range m.EnergyJ {
+		res.EnergyJ[d.String()] = j
+	}
+	return res
+}
+
+// SparseCellMeasurement reconstructs the SparseMeasurement a stored cell
+// recorded. Exact for the same reason CellMeasurement is: every
+// persisted number JSON round-trips bit-for-bit, and the Config is
+// re-derived from the experiment.
+func SparseCellMeasurement(e SparseExperiment, res SparseCellResult) (SparseMeasurement, error) {
+	cfg, err := e.resolveSparseConfig()
+	if err != nil {
+		return SparseMeasurement{}, err
+	}
+	m := SparseMeasurement{
+		Experiment: e,
+		Config:     cfg,
+		DurationS:  res.DurationS,
+		TotalJ:     res.TotalJ,
+		EnergyJ:    make(map[rapl.Domain]float64, len(res.EnergyJ)),
+		Iters:      res.Iters,
+		Residual:   res.Residual,
+		Engine:     res.Engine,
+	}
+	for _, d := range append(rapl.Domains(), rapl.Accel) {
+		if j, ok := res.EnergyJ[d.String()]; ok {
+			m.EnergyJ[d] = j
+		}
+	}
+	return m, nil
+}
+
+// DecodeSparseCell unpacks a SparseCellKind record for consumers that
+// enumerate store records (campaign artifacts).
+func DecodeSparseCell(rec store.Record) (SparseCellIdentity, SparseCellResult, error) {
+	if rec.Kind != SparseCellKind {
+		return SparseCellIdentity{}, SparseCellResult{}, fmt.Errorf("core: record %.12s… has kind %q, want %q", rec.Key, rec.Kind, SparseCellKind)
+	}
+	var id SparseCellIdentity
+	if err := json.Unmarshal(rec.Identity, &id); err != nil {
+		return SparseCellIdentity{}, SparseCellResult{}, fmt.Errorf("core: decode sparse cell identity: %w", err)
+	}
+	var res SparseCellResult
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return SparseCellIdentity{}, SparseCellResult{}, fmt.Errorf("core: decode sparse cell result: %w", err)
+	}
+	return id, res, nil
+}
+
+// Experiment converts a decoded sparse identity back into the experiment
+// it keys.
+func (id SparseCellIdentity) Experiment() (SparseExperiment, error) {
+	alg, err := sparse.ParseAlgorithm(id.Algorithm)
+	if err != nil {
+		return SparseExperiment{}, err
+	}
+	kind, err := sparse.ParseKind(id.Matrix)
+	if err != nil {
+		return SparseExperiment{}, err
+	}
+	pl, err := cluster.ParsePlacement(id.Placement)
+	if err != nil {
+		return SparseExperiment{}, err
+	}
+	dev, err := cluster.ParseDevice(id.Device)
+	if err != nil {
+		return SparseExperiment{}, err
+	}
+	return SparseExperiment{
+		Algorithm: alg, Kind: kind, N: id.N, Ranks: id.Ranks, Placement: pl,
+		Device: dev, Band: id.Band, Density: id.Density, Cond: id.Cond, Seed: id.Seed,
+	}, nil
+}
+
+// lookupSparseCell serves a sparse cell from the store; ok is false on a
+// miss.
+func lookupSparseCell(st *store.Store, id SparseCellIdentity, e SparseExperiment) (SparseMeasurement, bool, error) {
+	key, _, err := store.KeyFor(id)
+	if err != nil {
+		return SparseMeasurement{}, false, err
+	}
+	rec, ok, err := st.Get(key)
+	if err != nil || !ok {
+		return SparseMeasurement{}, false, err
+	}
+	if rec.Kind != SparseCellKind {
+		return SparseMeasurement{}, false, fmt.Errorf("core: record %.12s… has kind %q, want %q", rec.Key, rec.Kind, SparseCellKind)
+	}
+	var res SparseCellResult
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return SparseMeasurement{}, false, fmt.Errorf("core: decode sparse cell result: %w", err)
+	}
+	m, err := SparseCellMeasurement(e, res)
+	if err != nil {
+		return SparseMeasurement{}, false, err
+	}
+	return m, true, nil
+}
+
+func appendSparseCell(st *store.Store, id SparseCellIdentity, m SparseMeasurement) error {
+	rec, err := store.NewRecord(SparseCellKind, id, sparseCellResultOf(m))
+	if err != nil {
+		return err
+	}
+	_, err = st.Append(rec)
+	return err
+}
+
+// LookupSparseAnalyticCell serves RunSparseAnalytic(e, prm) from the
+// store without computing; ok is false on a miss (or a nil store).
+// Campaign strict from-store artifact emission builds on it.
+func LookupSparseAnalyticCell(st *store.Store, e SparseExperiment, prm perfmodel.Params) (SparseMeasurement, bool, error) {
+	if st == nil {
+		return SparseMeasurement{}, false, nil
+	}
+	return lookupSparseCell(st, SparseAnalyticCellIdentity(e, prm), e)
+}
+
+// RunSparseAnalyticStored is RunSparseAnalytic with store-backed
+// memoization; computed reports whether the model actually ran. A nil
+// store degrades to plain RunSparseAnalytic.
+func RunSparseAnalyticStored(e SparseExperiment, prm perfmodel.Params, st *store.Store) (m SparseMeasurement, computed bool, err error) {
+	if st == nil {
+		m, err = RunSparseAnalytic(e, prm)
+		return m, true, err
+	}
+	id := SparseAnalyticCellIdentity(e, prm)
+	if m, ok, err := lookupSparseCell(st, id, e); err != nil || ok {
+		return m, false, err
+	}
+	m, err = RunSparseAnalytic(e, prm)
+	if err != nil {
+		return SparseMeasurement{}, true, err
+	}
+	return m, true, appendSparseCell(st, id, m)
+}
+
+// RunSparseMonitoredStored is RunSparseMonitored with store-backed
+// memoization.
+func RunSparseMonitoredStored(e SparseExperiment, st *store.Store) (m SparseMeasurement, computed bool, err error) {
+	if st == nil {
+		m, err = RunSparseMonitored(e)
+		return m, true, err
+	}
+	id := SparseMonitoredCellIdentity(e)
+	if m, ok, err := lookupSparseCell(st, id, e); err != nil || ok {
+		return m, false, err
+	}
+	m, err = RunSparseMonitored(e)
+	if err != nil {
+		return SparseMeasurement{}, true, err
+	}
+	return m, true, appendSparseCell(st, id, m)
+}

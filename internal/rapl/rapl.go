@@ -57,6 +57,12 @@ const (
 	DRAM1
 	PP00
 	PP01
+	// Accel is the node-level accelerator energy domain (NVML-style, one
+	// aggregate counter for the node's accelerators). It is analytic-only:
+	// like the PP0 sub-domains it is excluded from Domains(), so dense
+	// measurements and their stored bytes never see it; the sparse model
+	// (internal/sparse) charges it directly.
+	Accel
 	numDomains
 )
 
@@ -78,15 +84,19 @@ func (d Domain) String() string {
 		return "PP0_ENERGY:PACKAGE0"
 	case PP01:
 		return "PP0_ENERGY:PACKAGE1"
+	case Accel:
+		return "ACCEL_ENERGY:NODE"
 	default:
 		return fmt.Sprintf("Domain(%d)", int(d))
 	}
 }
 
-// Socket returns the package index a domain belongs to.
+// Socket returns the package index a domain belongs to. The node-level
+// Accel domain is conventionally attributed to socket 0 (the PCIe root
+// complex side); it never appears in the per-socket MSR surface.
 func (d Domain) Socket() int {
 	switch d {
-	case PKG0, DRAM0, PP00:
+	case PKG0, DRAM0, PP00, Accel:
 		return 0
 	default:
 		return 1

@@ -457,6 +457,21 @@ func marshalStage(ctx context.Context, v any) ([]byte, error) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	// The matrix parameter routes between the dense and the sparse
+	// pipeline before canonicalization: the two request families have
+	// disjoint parameter sets, cache-key shapes and response bodies.
+	// Absent or "dense" keeps the original path (and its exact cache
+	// keys) byte-for-byte.
+	switch m := r.URL.Query().Get("matrix"); m {
+	case "", "dense":
+	case "sparse":
+		s.handleRecommendSparse(w, r)
+		return
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("parameter matrix: unknown matrix class %q (want dense or sparse)", m))
+		return
+	}
 	req, err := parseStage(r, func() (RecommendRequest, error) { return ParseRecommendRequest(r.URL.Query()) })
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

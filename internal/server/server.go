@@ -176,10 +176,11 @@ type Server struct {
 
 	// Evaluators, injectable by tests to count/delay computations; New
 	// wires the real model. Handlers only reach the model through these.
-	evalRecommend func(RecommendRequest) (RecommendResponse, error)
-	evalPredict   func(PredictRequest) (PredictResponse, error)
-	evalSweep     func(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResponse, error)
-	evalSchedule  func(ctx context.Context, req ScheduleRequest) (*sched.Report, error)
+	evalRecommend       func(RecommendRequest) (RecommendResponse, error)
+	evalRecommendSparse func(SparseRecommendRequest) (SparseRecommendResponse, error)
+	evalPredict         func(PredictRequest) (PredictResponse, error)
+	evalSweep           func(ctx context.Context, req SweepRequest, r *grid.Runner) (SweepResponse, error)
+	evalSchedule        func(ctx context.Context, req ScheduleRequest) (*sched.Report, error)
 }
 
 // New returns a Server computing with the real calibrated model.
@@ -207,6 +208,7 @@ func New(cfg Config) *Server {
 	cfg.Registry.Gauge("server_build_info", "Serving-layer build identity (value is always 1).",
 		"version", Version, "go_version", runtime.Version(), "surrogate", surrogateVersion(cfg.Surrogate)).Set(1)
 	s.evalRecommend = evalRecommend
+	s.evalRecommendSparse = evalRecommendSparse
 	s.evalPredict = evalPredict
 	s.evalSweep = evalSweep
 	s.evalSchedule = s.evalScheduleReal
@@ -215,6 +217,7 @@ func New(cfg Config) *Server {
 		s.storeHits = cfg.Registry.Counter("server_store_cells_total", help, "result", "hit")
 		s.storeComputed = cfg.Registry.Counter("server_store_cells_total", help, "result", "computed")
 		s.evalRecommend = s.storeRecommend
+		s.evalRecommendSparse = s.storeRecommendSparse
 		s.evalSweep = s.storeSweep
 	}
 	return s

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+	"repro/internal/sparse"
+)
+
+// Sparse serving: GET /v1/recommend?matrix=sparse routes the request
+// through the same parse → cache → coalesce → admit → compute pipeline
+// as dense recommendations, but against the sparse iterative-solver
+// model and the CPU-vs-accelerator device axis. Two deliberate
+// asymmetries with the dense path:
+//
+//   - The surrogate never answers: it is trained on the dense LU/IMe
+//     envelope only, so the fast-path stage is skipped entirely
+//     (fast=nil) and every cache miss is computed exactly.
+//   - There are no model knobs. The sparse model has no overlap, block
+//     size or power-cap semantics; every consumer models with default
+//     perfmodel.Params so cells share one store identity with lsbench
+//     and campaign runs. A sparse request carrying cap_w is refused.
+
+// SparseRecommendRequest is the canonicalized form of
+// GET /v1/recommend?matrix=sparse.
+type SparseRecommendRequest struct {
+	Algorithm sparse.Algorithm
+	Kind      sparse.Kind
+	N         int
+	Ranks     int
+	Placement cluster.Placement
+	Objective core.Objective
+	Band      int
+	Density   float64
+	Cond      float64
+}
+
+// spec resolves the matrix recipe. The seed is pinned to the sweep seed:
+// the analytic model never reads it, and sharing it keys served cells
+// into the same store records as the campaign grid.
+func (r SparseRecommendRequest) spec() sparse.Spec {
+	return sparse.Spec{
+		Kind: r.Kind, N: r.N, Band: r.Band, Density: r.Density,
+		Cond: r.Cond, Seed: core.SparseSweepSeed,
+	}
+}
+
+func (r SparseRecommendRequest) cacheKey() string {
+	return fmt.Sprintf("v1/recommend|matrix=sparse|alg=%s|kind=%s|n=%d|ranks=%d|pl=%s|obj=%s|band=%d|dens=%g|cond=%g",
+		r.Algorithm, r.Kind, r.N, r.Ranks, r.Placement, r.Objective, r.Band, r.Density, r.Cond)
+}
+
+// SparseCellResult is one modelled device cell in a sparse response.
+type SparseCellResult struct {
+	Device        string  `json:"device"`
+	DurationS     float64 `json:"duration_s"`
+	TotalJ        float64 `json:"energy_j"`
+	PkgJ          float64 `json:"pkg_j"`
+	DramJ         float64 `json:"dram_j"`
+	AccelJ        float64 `json:"accel_j"`
+	Iters         int     `json:"iters"`
+	AvgPowerW     float64 `json:"avg_power_w"`
+	GFlopsPerWatt float64 `json:"gflops_per_watt"`
+}
+
+// SparseRecommendResponse is the body of GET /v1/recommend?matrix=sparse.
+type SparseRecommendResponse struct {
+	Matrix    string           `json:"matrix"`
+	Algorithm string           `json:"algorithm"`
+	Kind      string           `json:"kind"`
+	N         int              `json:"n"`
+	Ranks     int              `json:"ranks"`
+	Placement string           `json:"placement"`
+	Band      int              `json:"band,omitempty"`
+	Density   float64          `json:"density,omitempty"`
+	Cond      float64          `json:"cond"`
+	Objective string           `json:"objective"`
+	Best      string           `json:"best"`
+	MarginPct float64          `json:"margin_pct"`
+	CPU       SparseCellResult `json:"cpu"`
+	Accel     SparseCellResult `json:"accel"`
+}
+
+func sparseCellResult(m core.SparseMeasurement) SparseCellResult {
+	return SparseCellResult{
+		Device:        m.Experiment.Device.String(),
+		DurationS:     m.DurationS,
+		TotalJ:        m.TotalJ,
+		PkgJ:          m.EnergyJ[rapl.PKG0] + m.EnergyJ[rapl.PKG1],
+		DramJ:         m.EnergyJ[rapl.DRAM0] + m.EnergyJ[rapl.DRAM1],
+		AccelJ:        m.EnergyJ[rapl.Accel],
+		Iters:         m.Iters,
+		AvgPowerW:     m.AvgPowerW(),
+		GFlopsPerWatt: m.GFlopsPerWatt(),
+	}
+}
+
+// sparseRecommendResponse renders a sparse recommendation as the
+// response body — shared by the compute and store-backed paths, keeping
+// them byte-identical.
+func sparseRecommendResponse(req SparseRecommendRequest, rec core.SparseRecommendation) SparseRecommendResponse {
+	return SparseRecommendResponse{
+		Matrix:    "sparse",
+		Algorithm: req.Algorithm.String(),
+		Kind:      req.Kind.String(),
+		N:         req.N,
+		Ranks:     req.Ranks,
+		Placement: req.Placement.String(),
+		Band:      req.Band,
+		Density:   req.Density,
+		Cond:      req.Cond,
+		Objective: rec.Objective.String(),
+		Best:      rec.Best.String(),
+		MarginPct: 100 * rec.Margin,
+		CPU:       sparseCellResult(rec.CPU),
+		Accel:     sparseCellResult(rec.Accel),
+	}
+}
+
+func evalRecommendSparse(req SparseRecommendRequest) (SparseRecommendResponse, error) {
+	rec, err := core.RecommendSparse(req.Algorithm, req.spec(), req.Ranks, req.Placement, req.Objective, perfmodel.Params{})
+	if err != nil {
+		return SparseRecommendResponse{}, err
+	}
+	return sparseRecommendResponse(req, rec), nil
+}
+
+// storeRecommendSparse is evalRecommendSparse through the store: both
+// device cells memoized, shared with lsbench and campaign runs.
+func (s *Server) storeRecommendSparse(req SparseRecommendRequest) (SparseRecommendResponse, error) {
+	rec, computed, err := core.RecommendSparseStored(req.Algorithm, req.spec(), req.Ranks, req.Placement, req.Objective, perfmodel.Params{}, s.cfg.Store)
+	if err != nil {
+		return SparseRecommendResponse{}, err
+	}
+	s.countStoreCells(computed, 2-computed)
+	return sparseRecommendResponse(req, rec), nil
+}
+
+// ParseSparseRecommendRequest canonicalizes the query of
+// GET /v1/recommend?matrix=sparse. Every rejection here is a structured
+// 400: an unknown algorithm, matrix kind or objective, an infeasible
+// shape, or a dense-only knob (cap_w) are client errors, never 500s.
+func ParseSparseRecommendRequest(q url.Values) (SparseRecommendRequest, error) {
+	var req SparseRecommendRequest
+	var err error
+	v := q.Get("alg")
+	if v == "" {
+		return req, errors.New("parameter alg: required with matrix=sparse (CG or BiCGSTAB)")
+	}
+	if req.Algorithm, err = sparse.ParseAlgorithm(v); err != nil {
+		return req, fmt.Errorf("parameter alg: %w", err)
+	}
+	v = q.Get("kind")
+	if v == "" {
+		return req, errors.New("parameter kind: required with matrix=sparse (banded or random)")
+	}
+	if req.Kind, err = sparse.ParseKind(v); err != nil {
+		return req, fmt.Errorf("parameter kind: %w", err)
+	}
+	if req.N, err = queryInt(q, "n", 0); err != nil {
+		return req, err
+	}
+	if req.N <= 0 || req.N > maxOrder {
+		return req, fmt.Errorf("parameter n: want 1..%d, got %d", maxOrder, req.N)
+	}
+	if req.Ranks, err = queryInt(q, "ranks", 0); err != nil {
+		return req, err
+	}
+	req.Placement = cluster.FullLoad
+	if v := q.Get("placement"); v != "" {
+		if req.Placement, err = cluster.ParsePlacement(v); err != nil {
+			return req, err
+		}
+	}
+	// Both device configurations share node geometry; validating against
+	// the baseline spec covers the accelerated one too.
+	if _, err = cluster.NewConfig(req.Ranks, req.Placement, cluster.MarconiA3()); err != nil {
+		return req, err
+	}
+	if req.Ranks > req.N {
+		return req, fmt.Errorf("parameter ranks: %d exceeds the matrix order %d (empty row blocks)", req.Ranks, req.N)
+	}
+	if req.Band, err = queryInt(q, "band", 0); err != nil {
+		return req, err
+	}
+	if req.Density, err = queryFloat(q, "density", 0); err != nil {
+		return req, err
+	}
+	if req.Cond, err = queryFloat(q, "cond", 0); err != nil {
+		return req, err
+	}
+	if err = req.spec().Validate(); err != nil {
+		return req, err
+	}
+	if capW, err := queryFloat(q, "cap_w", 0); err != nil {
+		return req, err
+	} else if capW != 0 {
+		return req, errors.New("parameter cap_w: not supported with matrix=sparse (sparse kernels are not cap-modelled)")
+	}
+	req.Objective = core.MinEnergy
+	if v := q.Get("objective"); v != "" {
+		if req.Objective, err = core.ParseObjective(v); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+func (s *Server) handleRecommendSparse(w http.ResponseWriter, r *http.Request) {
+	req, err := parseStage(r, func() (SparseRecommendRequest, error) { return ParseSparseRecommendRequest(r.URL.Query()) })
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// fast is nil by design: the surrogate's envelope is the dense
+	// LU/IMe grid, so it strictly refuses sparse queries — every cache
+	// miss runs the exact sparse model.
+	s.serveCached(w, r, "recommend", req.cacheKey(), nil, func(ctx context.Context) ([]byte, error) {
+		resp, err := s.evalRecommendSparse(req)
+		if err != nil {
+			return nil, err
+		}
+		return marshalStage(ctx, resp)
+	})
+}

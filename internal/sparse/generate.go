@@ -1,0 +1,203 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec is the deterministic recipe for one sparse SPD system: every
+// entry of the matrix and the right-hand side is a pure function of
+// (Spec, i, j), so any rank can generate exactly its row block with no
+// input distribution or negotiation — the property the distributed
+// solver's halo plan is built on (the sparsity pattern is symmetric, so
+// peer sets follow from a rank's own rows).
+type Spec struct {
+	Kind Kind
+	// N is the matrix order.
+	N int
+	// Band is the half-bandwidth (Banded kind): entries live at
+	// |i−j| ≤ Band.
+	Band int
+	// Density is the independent off-diagonal entry probability
+	// (Random kind).
+	Density float64
+	// Cond is the target condition-number bound, enforced via the
+	// diagonal shift (see Shift): Gershgorin confines the spectrum to
+	// [δ, 2·s+δ] for row sums s ≤ SBound, so κ ≲ Cond.
+	Cond float64
+	// Seed drives every pseudo-random draw.
+	Seed int64
+}
+
+// Validate reports an error for an unusable spec.
+func (s Spec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("sparse: order %d must be positive", s.N)
+	}
+	switch s.Kind {
+	case Banded:
+		if s.Band < 1 || s.Band >= s.N {
+			return fmt.Errorf("sparse: half-bandwidth %d outside [1,%d)", s.Band, s.N)
+		}
+	case Random:
+		if !(s.Density > 0 && s.Density <= 1) {
+			return fmt.Errorf("sparse: density %g outside (0,1]", s.Density)
+		}
+	default:
+		return fmt.Errorf("sparse: unknown matrix kind %v", s.Kind)
+	}
+	if !(s.Cond > 1) || math.IsInf(s.Cond, 0) || math.IsNaN(s.Cond) {
+		return fmt.Errorf("sparse: condition target %g must exceed 1", s.Cond)
+	}
+	return nil
+}
+
+// Label renders a short human-readable identifier such as
+// "banded/n=4096/band=64/cond=100".
+func (s Spec) Label() string {
+	switch s.Kind {
+	case Random:
+		return fmt.Sprintf("random/n=%d/density=%g/cond=%g", s.N, s.Density, s.Cond)
+	default:
+		return fmt.Sprintf("banded/n=%d/band=%d/cond=%g", s.N, s.Band, s.Cond)
+	}
+}
+
+// Hash salts separating the independent pseudo-random streams.
+const (
+	saltPresence = 0x70726573 // off-diagonal presence (Random kind)
+	saltValue    = 0x76616c75 // off-diagonal values
+	saltRHS      = 0x72687321 // right-hand side
+)
+
+// splitmix64 is the seeded hash behind every draw (same construction the
+// analytic engine's jitter uses).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pairHash hashes (seed, salt, i, j); callers pass (min,max) so the draw
+// is symmetric in (i,j).
+func (s Spec) pairHash(salt uint64, i, j int) uint64 {
+	h := splitmix64(uint64(s.Seed) ^ salt)
+	h = splitmix64(h ^ uint64(i))
+	return splitmix64(h ^ uint64(j)<<1)
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// offdiag returns the symmetric off-diagonal entry A[i][j] = A[j][i] for
+// i ≠ j, or 0 when the pattern has no entry there. Values are in
+// [-1,-0.1): a (negative, Laplacian-like) stencil weight; the sign is
+// immaterial for the SPD construction, which only uses |A[i][j]|.
+func (s Spec) offdiag(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	switch s.Kind {
+	case Banded:
+		if j-i > s.Band {
+			return 0
+		}
+	case Random:
+		if unit(s.pairHash(saltPresence, i, j)) >= s.Density {
+			return 0
+		}
+	}
+	return -(0.1 + 0.9*unit(s.pairHash(saltValue, i, j)))
+}
+
+// SBound is a deterministic bound on the off-diagonal absolute row sum
+// used to place the diagonal shift. For Banded it is exact (each |entry|
+// < 1); for Random it covers the expectation with slack for fluctuation,
+// so the realised condition number lands at or below Cond.
+func (s Spec) SBound() float64 {
+	switch s.Kind {
+	case Random:
+		return 1.5*s.Density*float64(s.N-1) + 2
+	default:
+		return 2 * float64(s.Band)
+	}
+}
+
+// Shift is the diagonal shift δ: with diag = rowAbsSum + δ, Gershgorin
+// gives eigenvalues in [δ, 2·SBound+δ], hence κ ≤ 1 + 2·SBound/δ = Cond.
+func (s Spec) Shift() float64 { return 2 * s.SBound() / (s.Cond - 1) }
+
+// RowBlock generates rows [lo,hi) of the matrix as a CSR with global
+// column indices — the distributed solver's per-rank share. RowBlock(0,N)
+// is the full matrix.
+func (s Spec) RowBlock(lo, hi int) (*CSR, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > s.N {
+		return nil, fmt.Errorf("sparse: row block [%d,%d) outside [0,%d]", lo, hi, s.N)
+	}
+	shift := s.Shift()
+	a := &CSR{Rows: hi - lo, Cols: s.N, RowPtr: make([]int, hi-lo+1)}
+	for i := lo; i < hi; i++ {
+		jlo, jhi := 0, s.N
+		if s.Kind == Banded {
+			jlo, jhi = i-s.Band, i+s.Band+1
+			if jlo < 0 {
+				jlo = 0
+			}
+			if jhi > s.N {
+				jhi = s.N
+			}
+		}
+		var rowSum float64
+		diagAt := -1
+		for j := jlo; j < jhi; j++ {
+			if j == i {
+				diagAt = len(a.Val)
+				a.Col = append(a.Col, j)
+				a.Val = append(a.Val, 0) // patched below
+				continue
+			}
+			if v := s.offdiag(i, j); v != 0 {
+				a.Col = append(a.Col, j)
+				a.Val = append(a.Val, v)
+				rowSum += math.Abs(v)
+			}
+		}
+		a.Val[diagAt] = rowSum + shift
+		a.RowPtr[i-lo+1] = len(a.Val)
+	}
+	return a, nil
+}
+
+// Matrix generates the full matrix.
+func (s Spec) Matrix() (*CSR, error) { return s.RowBlock(0, s.N) }
+
+// RHSRange generates entries [lo,hi) of the right-hand side, values in
+// [-1,1).
+func (s Spec) RHSRange(lo, hi int) []float64 {
+	b := make([]float64, hi-lo)
+	for i := lo; i < hi; i++ {
+		b[i-lo] = 2*unit(s.pairHash(saltRHS, i, i)) - 1
+	}
+	return b
+}
+
+// RHS generates the full right-hand side.
+func (s Spec) RHS() []float64 { return s.RHSRange(0, s.N) }
+
+// EstNNZ is the analytic model's entry count: exact for Banded
+// (n + 2·band·n − band·(band+1) after edge truncation), the expectation
+// for Random (n diagonal + n·(n−1)·density off-diagonal).
+func (s Spec) EstNNZ() float64 {
+	n := float64(s.N)
+	switch s.Kind {
+	case Random:
+		return n + n*(n-1)*s.Density
+	default:
+		b := float64(s.Band)
+		return n + 2*b*n - b*(b+1)
+	}
+}

@@ -1,0 +1,479 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/mpi"
+)
+
+// Distributed CG / BiCGSTAB over the simulated-MPI substrate.
+//
+// Distribution is a contiguous row-block partition (BlockRange). Every
+// rank generates its own rows from the Spec, so there is no input
+// distribution step. The halo plan is negotiated once: a rank derives
+// which external vector entries its rows touch, and — because the
+// generated sparsity pattern is symmetric — the set of peers that need
+// entries *from* it is exactly the set it needs entries from, so the
+// plan is one index-list exchange with no discovery round. Per
+// iteration the exchange is all-sends-then-all-recvs, one message per
+// (src,dst) pair, which the mailbox's buffered streams absorb without
+// deadlock; a crashed peer surfaces as mpi.ErrRankFailed from the
+// Send/Recv itself.
+//
+// Phases (spmv, halo, dot, axpy) are recorded on the tracer; with
+// ChargeCosts the kernels charge virtual time and DRAM traffic at the
+// memory-bound rates in perf.go through the same RAPL accounting the
+// dense solvers use.
+
+// BlockRange returns the half-open row range [lo,hi) owned by rank r of
+// ranks under contiguous block distribution with remainder rows on the
+// leading ranks (same convention as the dense solvers).
+func BlockRange(n, ranks, r int) (lo, hi int) {
+	if ranks <= 0 || r < 0 || r >= ranks {
+		return 0, 0
+	}
+	base := n / ranks
+	rem := n % ranks
+	if r < rem {
+		lo = r * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (r-rem)*base
+	return lo, lo + base
+}
+
+// OwnerOf returns the rank owning row (0-based) under BlockRange.
+func OwnerOf(n, ranks, row int) int {
+	if ranks <= 0 || row < 0 || row >= n {
+		return -1
+	}
+	base := n / ranks
+	rem := n % ranks
+	cut := rem * (base + 1)
+	if row < cut {
+		return row / (base + 1)
+	}
+	return rem + (row-cut)/base
+}
+
+// Options configures a distributed solve.
+type Options struct {
+	// Tol is the relative-residual convergence target (SolverTol if 0).
+	Tol float64
+	// MaxIter bounds the iteration count (4·n if 0).
+	MaxIter int
+	// ChargeCosts enables virtual-time/energy accounting of the kernels
+	// at the perf.go rates (communication is always charged by the
+	// substrate).
+	ChargeCosts bool
+}
+
+// Solution is the outcome of a converged distributed solve.
+type Solution struct {
+	// X is the full solution vector, identical on every rank.
+	X []float64
+	// Iters is the iteration count to convergence.
+	Iters int
+	// Residual is the final relative residual from the recurrence.
+	Residual float64
+}
+
+// Tags of the solver's point-to-point traffic (collectives use the
+// substrate's reserved negative tags).
+const (
+	tagHaloIdx = 7001 // one-time halo plan: index lists
+	tagHalo    = 7002 // per-iteration halo values
+)
+
+// Solve runs the selected iterative solver on the world communicator.
+func Solve(p *mpi.Proc, alg Algorithm, spec Spec, opt Options) (Solution, error) {
+	if err := spec.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.Size() > spec.N {
+		return Solution{}, fmt.Errorf("sparse: %d ranks exceed order %d", p.Size(), spec.N)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = SolverTol
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 4 * spec.N
+	}
+	d, err := newDist(p, spec, opt.ChargeCosts)
+	if err != nil {
+		return Solution{}, err
+	}
+	if opt.ChargeCosts {
+		p.SetActivity(CoreActivity)
+		defer p.SetActivity(1)
+	}
+	switch alg {
+	case CG:
+		return d.cg(opt)
+	case BiCGSTAB:
+		return d.bicgstab(opt)
+	default:
+		return Solution{}, fmt.Errorf("sparse: unknown algorithm %v", alg)
+	}
+}
+
+// haloPeer is one neighbour of the halo plan.
+type haloPeer struct {
+	rank int
+	// sendOff are local row offsets whose values the peer needs.
+	sendOff []int
+	// recvPos are positions in the extended vector (≥ rows) filled by
+	// the peer's message, in the peer's send order.
+	recvPos []int
+	sendBuf []float64
+}
+
+// dist is the per-rank state of a distributed solve.
+type dist struct {
+	p      *mpi.Proc
+	c      *mpi.Comm
+	spec   Spec
+	lo, hi int
+	rows   int
+	// a holds this rank's rows with columns remapped to the extended
+	// local vector: [0,rows) are owned entries, rows+k is external k.
+	a     *CSR
+	peers []haloPeer
+	// xext is the extended SpMV input: owned block followed by halo.
+	xext   []float64
+	charge bool
+}
+
+// newDist generates the rank's row block, remaps it to extended-vector
+// indexing and negotiates the halo plan.
+func newDist(p *mpi.Proc, spec Spec, charge bool) (*dist, error) {
+	size, rank := p.Size(), p.Rank()
+	lo, hi := BlockRange(spec.N, size, rank)
+	a, err := spec.RowBlock(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	d := &dist{p: p, c: p.World(), spec: spec, lo: lo, hi: hi, rows: hi - lo, a: a, charge: charge}
+
+	// External columns, sorted and deduplicated; sorted order groups
+	// them by owning rank, since ownership is contiguous.
+	extSet := make(map[int]struct{})
+	for _, j := range a.Col {
+		if j < lo || j >= hi {
+			extSet[j] = struct{}{}
+		}
+	}
+	ext := make([]int, 0, len(extSet))
+	for j := range extSet {
+		ext = append(ext, j)
+	}
+	sort.Ints(ext)
+	extPos := make(map[int]int, len(ext))
+	for k, j := range ext {
+		extPos[j] = d.rows + k
+	}
+	for i, j := range a.Col {
+		if j >= lo && j < hi {
+			a.Col[i] = j - lo
+		} else {
+			a.Col[i] = extPos[j]
+		}
+	}
+	a.Cols = d.rows + len(ext) // now indexed against the extended vector
+	d.xext = make([]float64, a.Cols)
+
+	// Group the needed entries by owner. The symmetric pattern makes
+	// peer sets symmetric, so the same loop fixes who we send to.
+	byOwner := make(map[int][]int)
+	var peerRanks []int
+	for _, j := range ext {
+		o := OwnerOf(spec.N, size, j)
+		if _, seen := byOwner[o]; !seen {
+			peerRanks = append(peerRanks, o)
+		}
+		byOwner[o] = append(byOwner[o], j)
+	}
+	sort.Ints(peerRanks)
+
+	// One-time plan exchange: tell each peer which of its rows we need
+	// (as float64-encoded indices), receive the symmetric request.
+	for _, o := range peerRanks {
+		need := byOwner[o]
+		msg := make([]float64, len(need))
+		for i, j := range need {
+			msg[i] = float64(j)
+		}
+		if err := p.SendNoCopy(d.c, o, tagHaloIdx, msg); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range peerRanks {
+		req, err := p.Recv(d.c, o, tagHaloIdx)
+		if err != nil {
+			return nil, err
+		}
+		need := byOwner[o]
+		hp := haloPeer{
+			rank:    o,
+			sendOff: make([]int, len(req)),
+			recvPos: make([]int, len(need)),
+			sendBuf: make([]float64, len(req)),
+		}
+		for i, f := range req {
+			j := int(f)
+			if j < lo || j >= hi {
+				return nil, fmt.Errorf("sparse: rank %d asked rank %d for row %d outside [%d,%d)", o, rank, j, lo, hi)
+			}
+			hp.sendOff[i] = j - lo
+		}
+		for i, j := range need {
+			hp.recvPos[i] = extPos[j]
+		}
+		d.peers = append(d.peers, hp)
+	}
+	return d, nil
+}
+
+// exchange refreshes the halo of the extended vector from the owned
+// values v (length rows): buffered sends to every peer, then receives —
+// one message per pair, so the streams never fill and a crash in either
+// direction surfaces as a typed error instead of a deadlock.
+func (d *dist) exchange(iter int, v []float64) error {
+	copy(d.xext[:d.rows], v)
+	if len(d.peers) == 0 {
+		return nil
+	}
+	ph := d.p.BeginPhase("halo", iter)
+	defer d.p.EndPhase(ph)
+	for i := range d.peers {
+		hp := &d.peers[i]
+		for k, off := range hp.sendOff {
+			hp.sendBuf[k] = v[off]
+		}
+		if err := d.p.Send(d.c, hp.rank, tagHalo, hp.sendBuf); err != nil {
+			return err
+		}
+	}
+	for i := range d.peers {
+		hp := &d.peers[i]
+		in, err := d.p.Recv(d.c, hp.rank, tagHalo)
+		if err != nil {
+			return err
+		}
+		if len(in) != len(hp.recvPos) {
+			return fmt.Errorf("sparse: halo from rank %d carried %d values, want %d", hp.rank, len(in), len(hp.recvPos))
+		}
+		for k, pos := range hp.recvPos {
+			d.xext[pos] = in[k]
+		}
+	}
+	return nil
+}
+
+// spmv computes dst = A·xext (call exchange first) and charges the
+// memory-bound kernel.
+func (d *dist) spmv(iter int, dst []float64) {
+	ph := d.p.BeginPhase("spmv", iter)
+	d.a.MulVecInto(dst, d.xext)
+	d.chargeBytes(float64(d.a.NNZ()) * DramBytesPerNNZ)
+	d.p.EndPhase(ph)
+}
+
+// dots computes global dot products over the block-distributed vector
+// pairs in one fused allreduce.
+func (d *dist) dots(iter int, pairs ...[2][]float64) ([]float64, error) {
+	ph := d.p.BeginPhase("dot", iter)
+	defer d.p.EndPhase(ph)
+	local := make([]float64, len(pairs))
+	for k, pr := range pairs {
+		local[k] = mat.Dot(pr[0], pr[1])
+	}
+	d.chargeBytes(16 * float64(d.rows) * float64(len(pairs)))
+	return d.p.AllreduceSum(d.c, local)
+}
+
+// axpyPhase wraps a batch of local vector updates in an "axpy" span and
+// charges their streamed traffic (bytes per row).
+func (d *dist) axpyPhase(iter int, bytesPerRow float64, body func()) {
+	ph := d.p.BeginPhase("axpy", iter)
+	body()
+	d.chargeBytes(bytesPerRow * float64(d.rows))
+	d.p.EndPhase(ph)
+}
+
+// chargeBytes charges a memory-bound kernel touching the given traffic.
+func (d *dist) chargeBytes(bytes float64) {
+	if d.charge {
+		d.p.Compute(bytes/HostStreamBps, bytes)
+	}
+}
+
+// finish allgathers the owned blocks into the full solution. Allgather
+// contributions must be equal length, so blocks are padded to the
+// largest block and trimmed back per the partition on reassembly.
+func (d *dist) finish(x []float64, iters int, rr, bb float64) (Solution, error) {
+	size := d.p.Size()
+	maxBlock := (d.spec.N + size - 1) / size
+	padded := make([]float64, maxBlock)
+	copy(padded, x)
+	chunks, err := d.p.Allgather(d.c, padded)
+	if err != nil {
+		return Solution{}, err
+	}
+	full := make([]float64, 0, d.spec.N)
+	for r, ch := range chunks {
+		lo, hi := BlockRange(d.spec.N, size, r)
+		full = append(full, ch[:hi-lo]...)
+	}
+	res := 0.0
+	if bb > 0 {
+		res = math.Sqrt(rr / bb)
+	}
+	return Solution{X: full, Iters: iters, Residual: res}, nil
+}
+
+// cg is the conjugate gradient iteration.
+func (d *dist) cg(opt Options) (Solution, error) {
+	x := make([]float64, d.rows)
+	r := d.spec.RHSRange(d.lo, d.hi)
+	pv := mat.VecClone(r)
+	q := make([]float64, d.rows)
+
+	rr0, err := d.dots(0, [2][]float64{r, r})
+	if err != nil {
+		return Solution{}, err
+	}
+	rr, bb := rr0[0], rr0[0]
+	tol2 := opt.Tol * opt.Tol * bb
+	iters := 0
+	for it := 1; it <= opt.MaxIter && rr > tol2; it++ {
+		if err := d.exchange(it, pv); err != nil {
+			return Solution{}, err
+		}
+		d.spmv(it, q)
+		pq, err := d.dots(it, [2][]float64{pv, q})
+		if err != nil {
+			return Solution{}, err
+		}
+		if pq[0] <= 0 {
+			return Solution{}, fmt.Errorf("sparse: CG breakdown at iteration %d (p·Ap = %g)", it, pq[0])
+		}
+		alpha := rr / pq[0]
+		d.axpyPhase(it, 48, func() {
+			mat.Axpy(alpha, pv, x)
+			mat.Axpy(-alpha, q, r)
+		})
+		rrNew, err := d.dots(it, [2][]float64{r, r})
+		if err != nil {
+			return Solution{}, err
+		}
+		beta := rrNew[0] / rr
+		rr = rrNew[0]
+		d.axpyPhase(it, 24, func() {
+			for i := range pv {
+				pv[i] = r[i] + beta*pv[i]
+			}
+		})
+		iters = it
+	}
+	if rr > tol2 {
+		return Solution{}, fmt.Errorf("sparse: CG did not converge within %d iterations (rel residual %.3e)", opt.MaxIter, math.Sqrt(rr/bb))
+	}
+	return d.finish(x, iters, rr, bb)
+}
+
+// bicgstab is the stabilised bi-conjugate gradient iteration. The final
+// residual norm uses the exact update algebra ‖s−ωt‖² = s·s − 2ω·t·s +
+// ω²·t·t, folding what would be a fourth allreduce into the fused dots.
+func (d *dist) bicgstab(opt Options) (Solution, error) {
+	x := make([]float64, d.rows)
+	r := d.spec.RHSRange(d.lo, d.hi)
+	rhat := mat.VecClone(r)
+	pv := make([]float64, d.rows)
+	v := make([]float64, d.rows)
+	s := make([]float64, d.rows)
+	t := make([]float64, d.rows)
+
+	rr0, err := d.dots(0, [2][]float64{r, r})
+	if err != nil {
+		return Solution{}, err
+	}
+	rr, bb := rr0[0], rr0[0]
+	tol2 := opt.Tol * opt.Tol * bb
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	iters := 0
+	for it := 1; it <= opt.MaxIter && rr > tol2; it++ {
+		rhoNew, err := d.dots(it, [2][]float64{rhat, r})
+		if err != nil {
+			return Solution{}, err
+		}
+		if rhoNew[0] == 0 {
+			return Solution{}, fmt.Errorf("sparse: BiCGSTAB breakdown at iteration %d (ρ = 0)", it)
+		}
+		if it == 1 {
+			copy(pv, r)
+		} else {
+			beta := (rhoNew[0] / rho) * (alpha / omega)
+			d.axpyPhase(it, 32, func() {
+				for i := range pv {
+					pv[i] = r[i] + beta*(pv[i]-omega*v[i])
+				}
+			})
+		}
+		rho = rhoNew[0]
+		if err := d.exchange(it, pv); err != nil {
+			return Solution{}, err
+		}
+		d.spmv(it, v)
+		rv, err := d.dots(it, [2][]float64{rhat, v})
+		if err != nil {
+			return Solution{}, err
+		}
+		if rv[0] == 0 {
+			return Solution{}, fmt.Errorf("sparse: BiCGSTAB breakdown at iteration %d (r̂·v = 0)", it)
+		}
+		alpha = rho / rv[0]
+		d.axpyPhase(it, 24, func() {
+			for i := range s {
+				s[i] = r[i] - alpha*v[i]
+			}
+		})
+		if err := d.exchange(it, s); err != nil {
+			return Solution{}, err
+		}
+		d.spmv(it, t)
+		fused, err := d.dots(it, [2][]float64{t, s}, [2][]float64{t, t}, [2][]float64{s, s})
+		if err != nil {
+			return Solution{}, err
+		}
+		ts, tt, ss := fused[0], fused[1], fused[2]
+		if tt == 0 {
+			// s is already (numerically) zero: accept the half step.
+			d.axpyPhase(it, 24, func() { mat.Axpy(alpha, pv, x) })
+			rr = ss
+			iters = it
+			break
+		}
+		omega = ts / tt
+		d.axpyPhase(it, 56, func() {
+			for i := range x {
+				x[i] += alpha*pv[i] + omega*s[i]
+			}
+			for i := range r {
+				r[i] = s[i] - omega*t[i]
+			}
+		})
+		rr = ss - 2*omega*ts + omega*omega*tt
+		if rr < 0 {
+			rr = 0 // cancellation guard: the true norm is non-negative
+		}
+		iters = it
+	}
+	if rr > tol2 {
+		return Solution{}, fmt.Errorf("sparse: BiCGSTAB did not converge within %d iterations (rel residual %.3e)", opt.MaxIter, math.Sqrt(rr/bb))
+	}
+	return d.finish(x, iters, rr, bb)
+}

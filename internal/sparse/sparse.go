@@ -1,0 +1,97 @@
+// Package sparse is the iterative-solver workload family: CSR sparse
+// matrices with deterministic seeded generators, a distributed SpMV over
+// the simulated-MPI substrate (row-block partition, halo exchange on the
+// lazy per-(src,dst) streams), and CG/BiCGSTAB solvers whose virtual time
+// and energy are charged through the same cost-model/RAPL path as the
+// dense solvers.
+//
+// The source paper compares two dense direct solvers; "On the energy
+// efficiency of sparse matrix computations on multi-GPU clusters"
+// (PAPERS.md) motivates this package: SpMV-dominated iterative solves are
+// memory-bound, convergence-dependent and accelerator-friendly — a
+// qualitatively different energy profile, and a genuinely non-obvious
+// CPU-vs-accelerator placement decision for the advisor. The analytic
+// side (model.go) extends the grid with matrix kind, nnz density,
+// condition number and device axes; the executable side (solver.go) runs
+// the real distributed numerics for cross-checks, monitoring and the
+// fault plane.
+package sparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects the sparsity structure of a generated matrix.
+type Kind int
+
+const (
+	// Banded matrices have entries within a fixed half-bandwidth of the
+	// diagonal (stencil-like problems).
+	Banded Kind = iota
+	// Random matrices place off-diagonal entries independently with a
+	// fixed density (unstructured graphs / circuits).
+	Random
+)
+
+// Kinds lists all matrix kinds in canonical order.
+func Kinds() []Kind { return []Kind{Banded, Random} }
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Banded:
+		return "banded"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String, for request-driven callers
+// that receive matrix kinds as text.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sparse: unknown matrix kind %q (want banded or random)", s)
+}
+
+// Algorithm selects the iterative solver.
+type Algorithm int
+
+const (
+	// CG is the conjugate gradient method (SPD systems).
+	CG Algorithm = iota
+	// BiCGSTAB is the stabilised bi-conjugate gradient method; two SpMVs
+	// per iteration but a smoother residual history.
+	BiCGSTAB
+)
+
+// Algorithms lists both solvers in canonical order.
+func Algorithms() []Algorithm { return []Algorithm{CG, BiCGSTAB} }
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case CG:
+		return "CG"
+	case BiCGSTAB:
+		return "BiCGSTAB"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String (case-insensitive).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(s, a.String()) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("sparse: unknown algorithm %q (want CG or BiCGSTAB)", s)
+}
